@@ -1,0 +1,551 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablation benchmarks for the design choices
+// the paper's analysis calls out. Each benchmark runs the full simulator
+// stack and reports the simulated cycle counts as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number the tables and figures need. Wall-clock ns/op
+// measures the simulator itself; the paper's quantities are the
+// "sim-kcycles" (and speedup) metrics.
+package sigkern
+
+import (
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/imagine"
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/equalize"
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/kernels/matmul"
+	"sigkern/internal/kernels/pfb"
+	"sigkern/internal/machines"
+	"sigkern/internal/perfmodel"
+	"sigkern/internal/ppc"
+	"sigkern/internal/rawsim"
+	"sigkern/internal/viram"
+)
+
+// benchKernel runs one kernel on one machine per iteration and reports
+// the simulated kilocycles.
+func benchKernel(b *testing.B, m core.Machine, k core.KernelID) {
+	b.Helper()
+	w := core.PaperWorkload()
+	var last core.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.Run(m, k, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.KCycles(), "sim-kcycles")
+	b.ReportMetric(last.OpsPerCycle(), "sim-ops/cycle")
+}
+
+// --- Table 1: peak throughput -------------------------------------------
+
+func BenchmarkTable1PeakThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := perfmodel.Table1(); len(rows) != 3 {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+	for _, t := range perfmodel.Table1() {
+		b.ReportMetric(t.Compute, t.Machine+"-compute-w/c")
+	}
+}
+
+// --- Table 2: processor parameters ---------------------------------------
+
+func BenchmarkTable2Parameters(b *testing.B) {
+	ms := machines.All()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ms {
+			if m.Params().ClockMHz == 0 {
+				b.Fatal("missing clock")
+			}
+		}
+	}
+	for _, m := range ms {
+		b.ReportMetric(m.Params().PeakGFLOPS, m.Name()+"-GFLOPS")
+	}
+}
+
+// --- Table 3: experimental results (one bench per cell group) ------------
+
+func BenchmarkTable3CornerTurn(b *testing.B) {
+	for _, m := range machines.All() {
+		b.Run(m.Name(), func(b *testing.B) { benchKernel(b, m, core.CornerTurn) })
+	}
+}
+
+func BenchmarkTable3CSLC(b *testing.B) {
+	for _, m := range machines.All() {
+		b.Run(m.Name(), func(b *testing.B) { benchKernel(b, m, core.CSLC) })
+	}
+}
+
+func BenchmarkTable3BeamSteering(b *testing.B) {
+	for _, m := range machines.All() {
+		b.Run(m.Name(), func(b *testing.B) { benchKernel(b, m, core.BeamSteering) })
+	}
+}
+
+// --- Table 4: performance model vs measured ------------------------------
+
+func BenchmarkTable4CornerTurnModel(b *testing.B) {
+	spec := cornerturn.PaperSpec()
+	measured := make(map[string]uint64)
+	for _, m := range machines.Research() {
+		r, err := m.RunCornerTurn(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured[m.Name()] = r.Cycles
+	}
+	b.ResetTimer()
+	var rows []perfmodel.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perfmodel.Table4(spec, measured)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ratio(), r.Machine+"-measured/peak")
+	}
+}
+
+// --- Figures 8 and 9: speedups over the AltiVec baseline -----------------
+
+func benchSpeedups(b *testing.B, timeDomain bool) {
+	b.Helper()
+	var sr *core.StudyResults
+	for i := 0; i < b.N; i++ {
+		var err error
+		sr, err = core.RunStudy(machines.All(), core.PaperWorkload())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range core.Kernels() {
+		for _, name := range []string{"VIRAM", "Imagine", "Raw"} {
+			var s float64
+			if timeDomain {
+				s = sr.SpeedupTime(machines.Baseline, name, k)
+			} else {
+				s = sr.SpeedupCycles(machines.Baseline, name, k)
+			}
+			b.ReportMetric(s, name+"-"+string(k)+"-speedup")
+		}
+	}
+}
+
+func BenchmarkFigure8SpeedupCycles(b *testing.B) { benchSpeedups(b, false) }
+
+func BenchmarkFigure9SpeedupTime(b *testing.B) { benchSpeedups(b, true) }
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationRawFFTRadix: radix-2 vs register-spilling radix-4 on
+// Raw (Section 3.2: why Raw uses radix-2).
+func BenchmarkAblationRawFFTRadix(b *testing.B) {
+	m := rawsim.New(rawsim.DefaultConfig())
+	spec := cslc.PaperSpec(fft.Radix2)
+	b.Run("radix2", func(b *testing.B) {
+		var r core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			r, err = m.RunCSLCImbalanced(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(r.KCycles(), "sim-kcycles")
+	})
+	b.Run("radix4-spilling", func(b *testing.B) {
+		var r core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			r, err = m.RunCSLCRadix4(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(r.KCycles(), "sim-kcycles")
+	})
+}
+
+// BenchmarkAblationRawLoadBalance: 73 sets on 16 tiles vs the paper's
+// perfect-balance extrapolation (Section 4.3).
+func BenchmarkAblationRawLoadBalance(b *testing.B) {
+	m := rawsim.New(rawsim.DefaultConfig())
+	spec := cslc.PaperSpec(fft.Radix2)
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"imbalanced-73-sets", func() (core.Result, error) { return m.RunCSLCImbalanced(spec) }},
+		{"perfect-balance", func() (core.Result, error) { return m.RunCSLC(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationRawStreamFFT: cache-mode MIMD CSLC vs the
+// static-network streaming variant (Section 4.3's ~70% FFT improvement).
+func BenchmarkAblationRawStreamFFT(b *testing.B) {
+	m := rawsim.New(rawsim.DefaultConfig())
+	spec := cslc.PaperSpec(fft.Radix2)
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"cache-mode", func() (core.Result, error) { return m.RunCSLCImbalanced(spec) }},
+		{"stream-mode", func() (core.Result, error) { return m.RunCSLCStream(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationImaginePipelining: the stream-descriptor limitation
+// vs full software pipelining on the corner turn (Section 4.2).
+func BenchmarkAblationImaginePipelining(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "descriptor-limited"
+		if full {
+			name = "fully-pipelined"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := imagine.DefaultConfig()
+			cfg.FullPipelining = full
+			m := imagine.New(cfg)
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = m.RunCornerTurn(cornerturn.PaperSpec())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationImagineSRFTables: beam-steering tables re-read from
+// DRAM vs resident in the SRF (Section 4.4's ~2x claim).
+func BenchmarkAblationImagineSRFTables(b *testing.B) {
+	m := imagine.New(imagine.DefaultConfig())
+	spec := beamsteer.PaperSpec()
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"tables-from-dram", func() (core.Result, error) { return m.RunBeamSteering(spec) }},
+		{"tables-in-srf", func() (core.Result, error) { return m.RunBeamSteeringSRFTables(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationImagineIndependentFFTs: parallel FFT with
+// inter-cluster communication vs independent per-cluster FFTs
+// (Section 4.3's uncompleted alternative).
+func BenchmarkAblationImagineIndependentFFTs(b *testing.B) {
+	m := imagine.New(imagine.DefaultConfig())
+	spec := cslc.PaperSpec(fft.MixedRadix42)
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"parallel-fft", func() (core.Result, error) { return m.RunCSLC(spec) }},
+		{"independent-ffts", func() (core.Result, error) { return m.RunCSLCIndependentFFTs(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationVIRAMAddrGens: strided corner-turn throughput vs the
+// number of address generators (Section 4.2's 24% factor).
+func BenchmarkAblationVIRAMAddrGens(b *testing.B) {
+	for _, ag := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "2-addrgens", 4: "4-addrgens", 8: "8-addrgens"}[ag], func(b *testing.B) {
+			cfg := viram.DefaultConfig()
+			cfg.DRAM.AddrGens = ag
+			m := viram.New(cfg)
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = m.RunCornerTurn(cornerturn.PaperSpec())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationVIRAMPadding: the matrix-row padding that spreads the
+// strided walk across DRAM banks (Section 3.1).
+func BenchmarkAblationVIRAMPadding(b *testing.B) {
+	for _, pad := range []int{0, 8} {
+		name := "padded-rows"
+		if pad == 0 {
+			name = "unpadded-rows"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := viram.DefaultConfig()
+			cfg.PadWords = pad
+			m := viram.New(cfg)
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = m.RunCornerTurn(cornerturn.PaperSpec())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationAltiVec: scalar vs AltiVec per kernel (Section 4.5's
+// ~6x CSLC, ~2x beam steering, ~1x corner turn).
+func BenchmarkAblationAltiVec(b *testing.B) {
+	for _, v := range []ppc.Variant{ppc.Scalar, ppc.AltiVec} {
+		m := ppc.New(ppc.DefaultConfig(v))
+		for _, k := range core.Kernels() {
+			b.Run(v.String()+"/"+string(k), func(b *testing.B) {
+				benchKernel(b, m, k)
+			})
+		}
+	}
+}
+
+// --- Extension kernel: matrix multiply ------------------------------------
+
+// BenchmarkExtensionMatMul runs the high-arithmetic-intensity extension
+// kernel on every machine (the Raw-related-work citation [16]).
+func BenchmarkExtensionMatMul(b *testing.B) {
+	spec := matmul.DefaultSpec()
+	for _, m := range machines.All() {
+		mr, ok := m.(core.MatMulRunner)
+		if !ok {
+			b.Fatalf("%s lacks matmul", m.Name())
+		}
+		b.Run(m.Name(), func(b *testing.B) {
+			var r core.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = mr.RunMatMul(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+			b.ReportMetric(r.OpsPerCycle(), "sim-ops/cycle")
+		})
+	}
+}
+
+// BenchmarkExtensionPFB runs the polyphase channelizer (the pipeline
+// stage the paper's Section 4.4 names) on every machine.
+func BenchmarkExtensionPFB(b *testing.B) {
+	w := pfb.DefaultWorkload()
+	type runner interface {
+		RunPFB(pfb.Workload) (core.Result, error)
+	}
+	for _, m := range machines.All() {
+		pr, ok := m.(runner)
+		if !ok {
+			b.Fatalf("%s lacks RunPFB", m.Name())
+		}
+		b.Run(m.Name(), func(b *testing.B) {
+			var r core.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = pr.RunPFB(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+			b.ReportMetric(r.OpsPerCycle(), "sim-ops/cycle")
+		})
+	}
+}
+
+// BenchmarkAblationRawDMA: cache-mode CSLC vs the streaming-DMA variant
+// (Section 4.3: "most of this stalling could have been eliminated").
+func BenchmarkAblationRawDMA(b *testing.B) {
+	m := rawsim.New(rawsim.DefaultConfig())
+	spec := cslc.PaperSpec(fft.Radix2)
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"cache-mode", func() (core.Result, error) { return m.RunCSLCImbalanced(spec) }},
+		{"streaming-dma", func() (core.Result, error) { return m.RunCSLCDMA(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationRawBeamSteeringMode: stream mode (measured) vs the
+// easy-to-program MIMD cache mode (Section 2.4's two modes of using Raw).
+func BenchmarkAblationRawBeamSteeringMode(b *testing.B) {
+	m := rawsim.New(rawsim.DefaultConfig())
+	spec := beamsteer.PaperSpec()
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"stream-mode", func() (core.Result, error) { return m.RunBeamSteering(spec) }},
+		{"mimd-cache-mode", func() (core.Result, error) { return m.RunBeamSteeringMIMD(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkAblationImaginePipelinedBeamSteering: isolated vs SRF-tables
+// vs fully pipelined (Section 4.4's progression).
+func BenchmarkAblationImaginePipelinedBeamSteering(b *testing.B) {
+	m := imagine.New(imagine.DefaultConfig())
+	spec := beamsteer.PaperSpec()
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"isolated", func() (core.Result, error) { return m.RunBeamSteering(spec) }},
+		{"srf-tables", func() (core.Result, error) { return m.RunBeamSteeringSRFTables(spec) }},
+		{"pipelined", func() (core.Result, error) { return m.RunBeamSteeringPipelined(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}
+
+// BenchmarkExtensionPipeline: the full three-stage pipeline on Imagine.
+func BenchmarkExtensionPipeline(b *testing.B) {
+	m := imagine.New(imagine.DefaultConfig())
+	w := pfb.DefaultWorkload()
+	var r core.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = m.RunPipeline(w, beamsteer.PaperSpec(), equalize.DefaultSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.KCycles(), "sim-kcycles")
+	b.ReportMetric(r.OpsPerCycle(), "sim-ops/cycle")
+}
+
+// BenchmarkAblationVIRAMCornerTurnFormulation: strided loads + padding
+// (the paper's implementation) vs unit-stride loads with in-register
+// permutes.
+func BenchmarkAblationVIRAMCornerTurnFormulation(b *testing.B) {
+	m := viram.New(viram.DefaultConfig())
+	spec := cornerturn.PaperSpec()
+	for _, variant := range []struct {
+		name string
+		run  func() (core.Result, error)
+	}{
+		{"strided-loads", func() (core.Result, error) { return m.RunCornerTurn(spec) }},
+		{"register-permutes", func() (core.Result, error) { return m.RunCornerTurnPermute(spec) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var r core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = variant.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KCycles(), "sim-kcycles")
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// Command archinfo prints the architecture descriptions of the four
+// machines — the textual equivalent of the paper's Figures 1-3 block
+// diagrams plus the Table 2 parameter summary.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sigkern/internal/imagine"
+	"sigkern/internal/machines"
+	"sigkern/internal/ppc"
+	"sigkern/internal/rawsim"
+	"sigkern/internal/report"
+	"sigkern/internal/viram"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "archinfo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := report.RenderTable2(os.Stdout, machines.All()); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	v := viram.DefaultConfig()
+	fmt.Printf(`VIRAM (Figure 1) — processor-in-memory vector chip
+  scalar core + 2 vector arithmetic units (FP on ALU0 only)
+  %d x 32-bit lanes, MVL %d elements, %d vector registers
+  on-chip DRAM: %d banks, %d-word rows, %d words/cycle sequential,
+  %d address generators (strided/indexed), crossbar to the vector unit
+  TLB: %d entries, %d KB pages
+
+`, v.Lanes, v.MVL, v.VRegs, v.DRAM.Banks, v.DRAM.RowWords,
+		v.DRAM.SeqWordsPerCycle, v.DRAM.AddrGens, v.TLBEntries, v.TLBPageBytes>>10)
+
+	i := imagine.DefaultConfig()
+	fmt.Printf(`Imagine (Figure 2) — stream processor
+  %d SIMD VLIW clusters: %d adders + %d multipliers + %d divider each,
+  1 inter-cluster communication port per cluster
+  stream register file: %d KB in %d-byte blocks, %d words/cycle
+  %d memory-stream controllers, %d stream descriptor registers
+
+`, i.Clusters, i.AddersPerCluster, i.MulsPerCluster, i.DivsPerCluster,
+		i.SRF.CapacityBytes>>10, i.SRF.BlockBytes, i.SRF.WordsPerCycle,
+		i.MemControllers, i.StreamDescRegs)
+
+	r := rawsim.DefaultConfig()
+	fmt.Printf(`Raw (Figure 3) — tiled processor
+  %dx%d mesh of single-issue MIPS-style tiles with switch processors
+  static network: %d-cycle nearest-neighbour latency, +%d per hop,
+  one word per cycle per link; dynamic network: packetized (min %d flits)
+  per-tile data memory: %d KB; %d peripheral DRAM ports
+
+`, r.Mesh.Width, r.Mesh.Height, r.Mesh.BaseLatency, r.Mesh.HopLatency,
+		r.Mesh.MinPacketWords, r.TileMem.CapacityBytes>>10, 2*r.Mesh.Width+2*r.Mesh.Height)
+
+	p := ppc.DefaultConfig(ppc.AltiVec)
+	fmt.Printf(`PowerPC G4 baseline (measured system in the paper)
+  %d-wide issue, scalar FPU (latency %d), AltiVec 4 x 32-bit SIMD (latency %d)
+  L1: %d KB %d-way, L2: %d KB %d-way, %d-byte lines
+`, p.IssueWidth, p.FPLatency, p.VecLatency,
+		p.L1.SizeBytes>>10, p.L1.Assoc, p.L2.SizeBytes>>10, p.L2.Assoc, p.L1.LineBytes)
+	return nil
+}

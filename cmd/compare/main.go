@@ -1,0 +1,108 @@
+// Command compare diffs two study-result CSV files (as written by
+// `sigstudy -csv`) and reports per-cell cycle changes — the regression
+// check for simulator or configuration changes.
+//
+// Usage:
+//
+//	sigstudy -csv before.csv
+//	... change something ...
+//	sigstudy -csv after.csv
+//	compare -threshold 2 before.csv after.csv
+//
+// The exit status is 1 when any cell moved by more than the threshold
+// percentage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"sigkern/internal/report"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 1.0, "flag changes larger than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: compare [-threshold pct] before.csv after.csv")
+		os.Exit(2)
+	}
+	changed, err := run(flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(2)
+	}
+	if changed {
+		os.Exit(1)
+	}
+}
+
+func run(beforePath, afterPath string, threshold float64) (bool, error) {
+	load := func(path string) (map[string]uint64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rows, err := report.ParseStudyCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := map[string]uint64{}
+		for _, r := range rows {
+			out[r.Machine+"/"+r.Kernel] = r.Cycles
+		}
+		return out, nil
+	}
+	before, err := load(beforePath)
+	if err != nil {
+		return false, err
+	}
+	after, err := load(afterPath)
+	if err != nil {
+		return false, err
+	}
+
+	var keys []string
+	for k := range before {
+		keys = append(keys, k)
+	}
+	for k := range after {
+		if _, ok := before[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	changed := false
+	var rows [][]string
+	for _, key := range keys {
+		b, haveB := before[key]
+		a, haveA := after[key]
+		switch {
+		case !haveA:
+			rows = append(rows, []string{key, fmt.Sprintf("%d", b), "-", "removed"})
+			changed = true
+		case !haveB:
+			rows = append(rows, []string{key, "-", fmt.Sprintf("%d", a), "added"})
+			changed = true
+		default:
+			pct := 100 * (float64(a) - float64(b)) / float64(b)
+			mark := ""
+			if math.Abs(pct) > threshold {
+				mark = " CHANGED"
+				changed = true
+			}
+			rows = append(rows, []string{key, fmt.Sprintf("%d", b), fmt.Sprintf("%d", a),
+				fmt.Sprintf("%+.2f%%%s", pct, mark)})
+		}
+	}
+	if err := report.Table(os.Stdout, "cycle comparison",
+		[]string{"machine/kernel", "before", "after", "delta"}, rows); err != nil {
+		return false, err
+	}
+	return changed, nil
+}

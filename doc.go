@@ -1,0 +1,16 @@
+// Package sigkern reproduces "A Performance Analysis of PIM, Stream
+// Processing, and Tiled Processing on Memory-Intensive Signal Processing
+// Kernels" (Suh, Kim, Crago, Srinivasan, French; ISCA 2003): functional
+// plus cycle-timing models of VIRAM, Imagine, Raw, and a PowerPC
+// G4/AltiVec baseline, running the corner-turn, CSLC, and beam-steering
+// kernels, with a harness that regenerates the paper's Tables 1-4 and
+// Figures 8-9.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured numbers. The benchmark suite
+// in bench_test.go regenerates every table and figure:
+//
+//	go test -bench=Table -benchmem .
+//	go test -bench=Figure .
+//	go test -bench=Ablation .
+package sigkern

@@ -1,0 +1,3 @@
+module sigkern
+
+go 1.22

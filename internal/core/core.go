@@ -1,0 +1,307 @@
+// Package core defines the comparative-study framework that is the
+// paper's contribution: a common set of kernel specifications, a Machine
+// abstraction implemented by every architecture model, cycle-count
+// results with breakdowns, and the speedup computations behind Table 3
+// and Figures 8 and 9.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/kernels/matmul"
+	"sigkern/internal/sim"
+)
+
+// KernelID names one of the paper's three kernels.
+type KernelID string
+
+// The three kernels of the study, in the paper's order.
+const (
+	CornerTurn   KernelID = "corner-turn"
+	CSLC         KernelID = "cslc"
+	BeamSteering KernelID = "beam-steering"
+)
+
+// MatMul is the extension kernel (dense matrix multiply, from the Raw
+// related work the paper cites); it is not part of the paper's Table 3
+// and therefore not in Kernels().
+const MatMul KernelID = "matmul"
+
+// Kernels lists the study's kernels in presentation order.
+func Kernels() []KernelID { return []KernelID{CornerTurn, CSLC, BeamSteering} }
+
+// Title returns the kernel's display name as used in the paper's tables.
+func (k KernelID) Title() string {
+	switch k {
+	case CornerTurn:
+		return "Corner Turn"
+	case CSLC:
+		return "CSLC"
+	case BeamSteering:
+		return "Beam Steering"
+	default:
+		return string(k)
+	}
+}
+
+// Workload bundles the concrete kernel instances of one study run. The
+// CSLC radix is chosen per machine (the paper used mixed radix-4/2 on
+// VIRAM and Imagine but radix-2 on Raw), so CSLC carries the base spec
+// and machines override Radix.
+type Workload struct {
+	CornerTurn cornerturn.Spec
+	CSLC       cslc.Spec
+	Beam       beamsteer.Spec
+}
+
+// PaperWorkload returns the exact instances evaluated in the paper.
+func PaperWorkload() Workload {
+	return Workload{
+		CornerTurn: cornerturn.PaperSpec(),
+		CSLC:       cslc.PaperSpec(fft.MixedRadix42),
+		Beam:       beamsteer.PaperSpec(),
+	}
+}
+
+// Validate checks every kernel spec.
+func (w Workload) Validate() error {
+	if err := w.CornerTurn.Validate(); err != nil {
+		return err
+	}
+	if err := w.CSLC.Validate(); err != nil {
+		return err
+	}
+	return w.Beam.Validate()
+}
+
+// Params holds the Table 2 row for one machine.
+type Params struct {
+	// ClockMHz is the implementation clock rate.
+	ClockMHz float64
+	// ALUs is the number of arithmetic units.
+	ALUs int
+	// PeakGFLOPS is the peak single-precision floating-point rate.
+	PeakGFLOPS float64
+	// Description summarizes the architecture for reports.
+	Description string
+}
+
+// Result reports one kernel execution on one machine model.
+type Result struct {
+	Machine string
+	Kernel  KernelID
+	// Cycles is the simulated cycle count (the Table 3 quantity).
+	Cycles uint64
+	// Breakdown attributes cycles to causes (memory, compute, startup,
+	// stalls, ...), mirroring the paper's Section 4 percentages.
+	Breakdown sim.Breakdown
+	// Stats carries event counters from the underlying simulators.
+	Stats sim.Stats
+	// Ops is the number of useful operations performed.
+	Ops uint64
+	// Words is the number of 32-bit words moved to/from memory.
+	Words uint64
+	// Verified is true when the machine's functional output was checked
+	// against the golden kernel reference during the run.
+	Verified bool
+	// Notes carries qualitative observations (e.g. the Raw load-balance
+	// extrapolation).
+	Notes []string
+}
+
+// KCycles returns cycles in thousands, the unit of the paper's Table 3.
+func (r Result) KCycles() float64 { return float64(r.Cycles) / 1e3 }
+
+// OpsPerCycle returns achieved useful operations per cycle.
+func (r Result) OpsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// TimeMS returns wall-clock milliseconds at the given clock rate.
+func (r Result) TimeMS(clockMHz float64) float64 {
+	return float64(r.Cycles) / (clockMHz * 1e3)
+}
+
+// MatMulRunner is implemented by machines that also support the
+// extension matrix-multiply kernel.
+type MatMulRunner interface {
+	RunMatMul(spec matmul.Spec) (Result, error)
+}
+
+// Machine is one architecture model: it can run the three kernels and
+// report simulated cycles.
+type Machine interface {
+	// Name returns the machine's display name ("VIRAM", "Imagine", ...).
+	Name() string
+	// Params returns the Table 2 parameters.
+	Params() Params
+	// RunCornerTurn, RunCSLC and RunBeamSteering execute the kernels
+	// functionally while accounting cycles.
+	RunCornerTurn(spec cornerturn.Spec) (Result, error)
+	RunCSLC(spec cslc.Spec) (Result, error)
+	RunBeamSteering(spec beamsteer.Spec) (Result, error)
+}
+
+// Run dispatches kernel k of workload w on machine m.
+func Run(m Machine, k KernelID, w Workload) (Result, error) {
+	switch k {
+	case CornerTurn:
+		return m.RunCornerTurn(w.CornerTurn)
+	case CSLC:
+		return m.RunCSLC(w.CSLC)
+	case BeamSteering:
+		return m.RunBeamSteering(w.Beam)
+	default:
+		return Result{}, fmt.Errorf("core: unknown kernel %q", k)
+	}
+}
+
+// StudyResults holds every (machine, kernel) result of one study run.
+type StudyResults struct {
+	Workload Workload
+	machines []Machine
+	results  map[string]map[KernelID]Result
+}
+
+// RunStudy executes every kernel of the workload on every machine. A
+// failed run aborts the study; partial tables would be misleading.
+func RunStudy(machines []Machine, w Workload) (*StudyResults, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("core: no machines")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	sr := &StudyResults{
+		Workload: w,
+		machines: machines,
+		results:  make(map[string]map[KernelID]Result),
+	}
+	for _, m := range machines {
+		sr.results[m.Name()] = make(map[KernelID]Result)
+		for _, k := range Kernels() {
+			r, err := Run(m, k, w)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", k, m.Name(), err)
+			}
+			if !r.Verified {
+				return nil, fmt.Errorf("core: %s on %s: result not functionally verified", k, m.Name())
+			}
+			sr.results[m.Name()][k] = r
+		}
+	}
+	return sr, nil
+}
+
+// Machines returns the machines in study order.
+func (s *StudyResults) Machines() []Machine { return s.machines }
+
+// MachineNames returns the display names in study order.
+func (s *StudyResults) MachineNames() []string {
+	names := make([]string, len(s.machines))
+	for i, m := range s.machines {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Result returns the result for (machine, kernel); ok is false when the
+// pair was not part of the study.
+func (s *StudyResults) Result(machine string, k KernelID) (Result, bool) {
+	mr, ok := s.results[machine]
+	if !ok {
+		return Result{}, false
+	}
+	r, ok := mr[k]
+	return r, ok
+}
+
+// mustResult panics on a missing pair; internal helpers use it after
+// RunStudy guaranteed completeness.
+func (s *StudyResults) mustResult(machine string, k KernelID) Result {
+	r, ok := s.Result(machine, k)
+	if !ok {
+		panic(fmt.Sprintf("core: missing result %s/%s", machine, k))
+	}
+	return r
+}
+
+// SpeedupCycles returns the Figure 8 quantity: baseline cycles divided by
+// machine cycles for kernel k.
+func (s *StudyResults) SpeedupCycles(baseline, machine string, k KernelID) float64 {
+	b := s.mustResult(baseline, k)
+	m := s.mustResult(machine, k)
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(b.Cycles) / float64(m.Cycles)
+}
+
+// SpeedupTime returns the Figure 9 quantity: baseline execution time
+// divided by machine execution time at each machine's own clock rate.
+func (s *StudyResults) SpeedupTime(baseline, machine string, k KernelID) float64 {
+	var bm, mm Machine
+	for _, m := range s.machines {
+		switch m.Name() {
+		case baseline:
+			bm = m
+		case machine:
+			mm = m
+		}
+	}
+	if bm == nil || mm == nil {
+		panic(fmt.Sprintf("core: unknown machine in speedup: %s or %s", baseline, machine))
+	}
+	b := s.mustResult(baseline, k)
+	m := s.mustResult(machine, k)
+	bt := b.TimeMS(bm.Params().ClockMHz)
+	mt := m.TimeMS(mm.Params().ClockMHz)
+	if mt == 0 {
+		return 0
+	}
+	return bt / mt
+}
+
+// GeometricMeanSpeedup aggregates speedups over all kernels, the way the
+// EEMBC comparison in the paper's Section 2.1 aggregates benchmarks.
+func (s *StudyResults) GeometricMeanSpeedup(baseline, machine string, timeDomain bool) float64 {
+	prod := 1.0
+	ks := Kernels()
+	for _, k := range ks {
+		if timeDomain {
+			prod *= s.SpeedupTime(baseline, machine, k)
+		} else {
+			prod *= s.SpeedupCycles(baseline, machine, k)
+		}
+	}
+	return math.Pow(prod, 1/float64(len(ks)))
+}
+
+// BestMachine returns the machine with the fewest cycles on kernel k.
+func (s *StudyResults) BestMachine(k KernelID) string {
+	type entry struct {
+		name   string
+		cycles uint64
+	}
+	var entries []entry
+	for _, m := range s.machines {
+		entries = append(entries, entry{m.Name(), s.mustResult(m.Name(), k).Cycles})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cycles != entries[j].cycles {
+			return entries[i].cycles < entries[j].cycles
+		}
+		return entries[i].name < entries[j].name
+	})
+	return entries[0].name
+}

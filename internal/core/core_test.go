@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+)
+
+// fakeMachine returns canned results, for framework tests.
+type fakeMachine struct {
+	name   string
+	clock  float64
+	cycles map[KernelID]uint64
+	fail   bool
+	unver  bool
+}
+
+func (f *fakeMachine) Name() string { return f.name }
+func (f *fakeMachine) Params() Params {
+	return Params{ClockMHz: f.clock, ALUs: 1, PeakGFLOPS: 1}
+}
+
+func (f *fakeMachine) run(k KernelID) (Result, error) {
+	if f.fail {
+		return Result{}, errors.New("boom")
+	}
+	return Result{
+		Machine: f.name, Kernel: k, Cycles: f.cycles[k],
+		Ops: 1, Words: 1, Verified: !f.unver,
+	}, nil
+}
+
+func (f *fakeMachine) RunCornerTurn(cornerturn.Spec) (Result, error)  { return f.run(CornerTurn) }
+func (f *fakeMachine) RunCSLC(cslc.Spec) (Result, error)              { return f.run(CSLC) }
+func (f *fakeMachine) RunBeamSteering(beamsteer.Spec) (Result, error) { return f.run(BeamSteering) }
+
+func twoMachines() []Machine {
+	return []Machine{
+		&fakeMachine{name: "base", clock: 1000, cycles: map[KernelID]uint64{
+			CornerTurn: 1000, CSLC: 2000, BeamSteering: 100}},
+		&fakeMachine{name: "fast", clock: 200, cycles: map[KernelID]uint64{
+			CornerTurn: 100, CSLC: 100, BeamSteering: 10}},
+	}
+}
+
+func TestKernelsAndTitles(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 3 {
+		t.Fatalf("Kernels() = %v", ks)
+	}
+	if CornerTurn.Title() != "Corner Turn" || CSLC.Title() != "CSLC" {
+		t.Fatal("kernel titles wrong")
+	}
+	if KernelID("x").Title() != "x" {
+		t.Fatal("unknown kernel title fallback")
+	}
+}
+
+func TestPaperWorkloadValid(t *testing.T) {
+	if err := PaperWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperWorkload()
+	bad.Beam.Elements = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	m := twoMachines()[0]
+	w := PaperWorkload()
+	for _, k := range Kernels() {
+		r, err := Run(m, k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kernel != k {
+			t.Fatalf("dispatched kernel %s, want %s", r.Kernel, k)
+		}
+	}
+	if _, err := Run(m, KernelID("nope"), w); err == nil {
+		t.Fatal("unknown kernel dispatched")
+	}
+}
+
+func TestRunStudyAndSpeedups(t *testing.T) {
+	sr, err := RunStudy(twoMachines(), PaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.SpeedupCycles("base", "fast", CornerTurn); got != 10 {
+		t.Fatalf("cycle speedup = %v, want 10", got)
+	}
+	// Time speedup: base at 1000 MHz (1000 cycles = 1 us), fast at 200
+	// MHz (100 cycles = 0.5 us): speedup 2.
+	if got := sr.SpeedupTime("base", "fast", CornerTurn); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("time speedup = %v, want 2", got)
+	}
+	if got := sr.BestMachine(CSLC); got != "fast" {
+		t.Fatalf("best = %s", got)
+	}
+	// Geometric mean over speedups 10, 20, 10 = cbrt(2000) ~ 12.6.
+	g := sr.GeometricMeanSpeedup("base", "fast", false)
+	if math.Abs(g-math.Cbrt(2000)) > 1e-9 {
+		t.Fatalf("geomean = %v", g)
+	}
+}
+
+func TestRunStudyErrors(t *testing.T) {
+	if _, err := RunStudy(nil, PaperWorkload()); err == nil {
+		t.Fatal("empty machine list accepted")
+	}
+	failing := []Machine{&fakeMachine{name: "bad", clock: 1, fail: true}}
+	if _, err := RunStudy(failing, PaperWorkload()); err == nil {
+		t.Fatal("failing machine accepted")
+	}
+	unverified := []Machine{&fakeMachine{name: "u", clock: 1, unver: true,
+		cycles: map[KernelID]uint64{CornerTurn: 1, CSLC: 1, BeamSteering: 1}}}
+	if _, err := RunStudy(unverified, PaperWorkload()); err == nil {
+		t.Fatal("unverified result accepted")
+	}
+	bad := PaperWorkload()
+	bad.CornerTurn.Rows = 0
+	if _, err := RunStudy(twoMachines(), bad); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := Result{Cycles: 2000, Ops: 4000}
+	if r.KCycles() != 2 {
+		t.Fatalf("KCycles = %v", r.KCycles())
+	}
+	if r.OpsPerCycle() != 2 {
+		t.Fatalf("OpsPerCycle = %v", r.OpsPerCycle())
+	}
+	if (Result{}).OpsPerCycle() != 0 {
+		t.Fatal("zero-cycle OpsPerCycle should be 0")
+	}
+	// 2000 cycles at 200 MHz = 10 us = 0.01 ms.
+	if ms := r.TimeMS(200); math.Abs(ms-0.01) > 1e-12 {
+		t.Fatalf("TimeMS = %v", ms)
+	}
+}
+
+func TestResultLookupMiss(t *testing.T) {
+	sr, err := RunStudy(twoMachines(), PaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sr.Result("nope", CSLC); ok {
+		t.Fatal("lookup of unknown machine succeeded")
+	}
+	if _, ok := sr.Result("base", KernelID("nope")); ok {
+		t.Fatal("lookup of unknown kernel succeeded")
+	}
+	if names := sr.MachineNames(); len(names) != 2 || names[0] != "base" {
+		t.Fatalf("MachineNames = %v", names)
+	}
+}
+
+func TestSpeedupPanicsOnUnknownMachine(t *testing.T) {
+	sr, err := RunStudy(twoMachines(), PaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpeedupTime with unknown machine did not panic")
+		}
+	}()
+	sr.SpeedupTime("base", "nope", CSLC)
+}

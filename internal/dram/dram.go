@@ -1,0 +1,370 @@
+// Package dram implements a banked DRAM timing model with open-row
+// tracking, precharge/activate penalties, and address-generator-limited
+// strided access, as needed to reproduce the memory behaviour described
+// in the paper:
+//
+//   - VIRAM's on-chip DRAM: two wings of four banks, a 256-bit datapath
+//     (8 sequential 32-bit words per cycle) but only four address
+//     generators (4 strided/indexed words per cycle), with visible
+//     precharge overhead on strided streams.
+//   - Imagine's and Raw's off-chip memory: one word per cycle per
+//     memory controller/port, with streaming controllers that reorder
+//     accesses to avoid bank conflicts.
+//
+// The model is cycle-driven at word granularity: every word of a stream
+// request is assigned a serve cycle subject to (a) the per-cycle issue
+// width, and (b) per-bank availability (a bank that must precharge and
+// activate a new row is busy for TRP+TRCD cycles).
+package dram
+
+import (
+	"errors"
+	"fmt"
+
+	"sigkern/internal/sim"
+)
+
+// Config describes one DRAM array and its controller.
+type Config struct {
+	// Name labels the array in stats ("viram-dram", "raw-port3", ...).
+	Name string
+	// Banks is the total number of independent banks (wings x banks/wing).
+	Banks int
+	// RowWords is the number of 32-bit words in one row of one bank.
+	RowWords int
+	// TRP is the precharge time in processor cycles.
+	TRP int
+	// TRCD is the row activate (RAS-to-CAS) time in processor cycles.
+	TRCD int
+	// CAS is the column access latency in processor cycles; it determines
+	// the unhidden latency of the first word of a stream.
+	CAS int
+	// SeqWordsPerCycle is the peak sequential (unit-stride) words
+	// transferred per cycle.
+	SeqWordsPerCycle int
+	// AddrGens is the number of address generators: the maximum strided
+	// or indexed words issued per cycle.
+	AddrGens int
+	// InterleaveWords is the bank-interleave granularity in words; 0
+	// means row-granular interleaving (banks switch every RowWords).
+	// VIRAM interleaves at the 256-bit access granularity (8 words) so
+	// strided streams rotate across all banks.
+	InterleaveWords int
+	// Reorder models a streaming memory controller (Imagine) that
+	// reorders pending accesses to avoid bank conflicts: when set,
+	// strided streams behave like sequential ones at AddrGens words per
+	// cycle and row activates overlap.
+	Reorder bool
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return errors.New("dram: Banks must be positive")
+	case c.RowWords <= 0:
+		return errors.New("dram: RowWords must be positive")
+	case c.SeqWordsPerCycle <= 0:
+		return errors.New("dram: SeqWordsPerCycle must be positive")
+	case c.AddrGens <= 0:
+		return errors.New("dram: AddrGens must be positive")
+	case c.TRP < 0 || c.TRCD < 0 || c.CAS < 0:
+		return errors.New("dram: negative timing parameter")
+	}
+	return nil
+}
+
+// VIRAMDRAM returns the on-chip DRAM of the VIRAM chip: 2 wings x 4
+// banks, 256-bit datapath (8 words/cycle sequential), 4 address
+// generators. On-chip timing is short in 200 MHz processor cycles.
+func VIRAMDRAM() Config {
+	return Config{
+		Name:             "viram-dram",
+		Banks:            8,
+		RowWords:         512, // 2 KB rows
+		TRP:              1,
+		TRCD:             1,
+		CAS:              4,
+		SeqWordsPerCycle: 8,
+		AddrGens:         4,
+		InterleaveWords:  8,
+	}
+}
+
+// ImagineChannel returns one of Imagine's two off-chip memory channels:
+// one word per cycle, with a reordering stream controller.
+func ImagineChannel(i int) Config {
+	return Config{
+		Name:             fmt.Sprintf("imagine-mc%d", i),
+		Banks:            4,
+		RowWords:         512,
+		TRP:              6,
+		TRCD:             6,
+		CAS:              12,
+		SeqWordsPerCycle: 1,
+		AddrGens:         1,
+		Reorder:          true,
+	}
+}
+
+// RawPort returns one of Raw's peripheral DRAM ports: one word per cycle
+// streaming.
+func RawPort(i int) Config {
+	return Config{
+		Name:             fmt.Sprintf("raw-port%d", i),
+		Banks:            4,
+		RowWords:         512,
+		TRP:              6,
+		TRCD:             6,
+		CAS:              12,
+		SeqWordsPerCycle: 1,
+		AddrGens:         1,
+		Reorder:          true,
+	}
+}
+
+// PPCDRAM returns the main-memory array behind the PowerPC G4's caches.
+// Timing is in 1 GHz processor cycles, so latencies are long.
+func PPCDRAM() Config {
+	return Config{
+		Name:             "ppc-dram",
+		Banks:            4,
+		RowWords:         512,
+		TRP:              30,
+		TRCD:             30,
+		CAS:              80,
+		SeqWordsPerCycle: 1,
+		AddrGens:         1,
+	}
+}
+
+// Request describes one stream access: Count words starting at word
+// address Base with the given word stride. If Indices is non-nil the
+// request is an indexed (gather/scatter) access and Base/Stride are
+// ignored.
+type Request struct {
+	Base    int
+	Stride  int
+	Count   int
+	Write   bool
+	Indices []int
+}
+
+// StreamResult reports the timing of one stream request.
+type StreamResult struct {
+	// Cycles is the number of cycles from first issue to last word served.
+	Cycles uint64
+	// StartLatency is the unhidden latency before the first word arrives
+	// (CAS + activate); callers decide whether their machine hides it.
+	StartLatency uint64
+	// RowMisses counts accesses that required precharge + activate.
+	RowMisses uint64
+	// ConflictStalls counts cycles lost waiting for busy banks beyond the
+	// issue-width limit.
+	ConflictStalls uint64
+	// Words is the number of words transferred.
+	Words uint64
+}
+
+// Controller simulates one DRAM array. It is not safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	openRow  []int    // open row per bank, -1 = closed
+	bankFree []uint64 // cycle at which each bank can accept a new activate
+	clock    sim.Clock
+	stats    sim.Stats
+}
+
+// NewController returns a controller for cfg. It panics if cfg is invalid,
+// since configurations are compile-time constants in this repository.
+func NewController(cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{cfg: cfg}
+	c.Reset()
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Reset closes all rows and rewinds the clock.
+func (c *Controller) Reset() {
+	c.openRow = make([]int, c.cfg.Banks)
+	c.bankFree = make([]uint64, c.cfg.Banks)
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	c.clock.Reset()
+	c.stats = sim.Stats{}
+}
+
+// Stats returns accumulated event counters.
+func (c *Controller) Stats() sim.Stats { return c.stats }
+
+// Now returns the controller's current cycle.
+func (c *Controller) Now() uint64 { return c.clock.Now() }
+
+// SyncTo advances the controller clock to machine time t (never
+// backward). Machine models call it before issuing a stream whose start
+// is determined by the pipeline rather than by the previous DRAM access.
+func (c *Controller) SyncTo(t uint64) { c.clock.AdvanceTo(t) }
+
+// bankAndRow decodes a word address into (bank, row). Banks are
+// interleaved every InterleaveWords words (RowWords when unset); a "row"
+// is the stripe of RowWords*Banks contiguous words whose per-bank slices
+// occupy one DRAM row each.
+func (c *Controller) bankAndRow(addr int) (bank, row int) {
+	if addr < 0 {
+		addr = -addr
+	}
+	il := c.cfg.InterleaveWords
+	if il == 0 {
+		il = c.cfg.RowWords
+	}
+	bank = (addr / il) % c.cfg.Banks
+	row = addr / (c.cfg.RowWords * c.cfg.Banks)
+	return bank, row
+}
+
+// issueWidth returns how many words of this request may issue per cycle.
+func (c *Controller) issueWidth(strided bool) int {
+	if strided && !c.cfg.Reorder {
+		if c.cfg.AddrGens < c.cfg.SeqWordsPerCycle {
+			return c.cfg.AddrGens
+		}
+	}
+	return c.cfg.SeqWordsPerCycle
+}
+
+// rowCycle is the bank occupancy of one precharge + activate sequence.
+func (c *Controller) rowCycle() uint64 {
+	return uint64(c.cfg.TRP + c.cfg.TRCD)
+}
+
+// queueDepth is the number of outstanding word accesses the controller
+// tracks; when completions fall this far behind, issue stalls
+// (backpressure). Sixteen matches a modest access queue.
+const queueDepth = 16
+
+// Stream executes one stream request and advances the controller clock to
+// the completion cycle. The returned result covers only this request.
+//
+// The model separates issue throughput from completion latency: addresses
+// issue at the width permitted by the address generators (or the full
+// datapath for unit strides); a word that opens a new DRAM row completes
+// TRP+TRCD later and occupies its bank for that long, so accesses that
+// revisit a busy bank are pushed out and, through the bounded request
+// queue, eventually stall issue. A reordering stream controller (Imagine,
+// Raw ports) hides activate latency entirely by scheduling around it.
+func (c *Controller) Stream(req Request) StreamResult {
+	n := req.Count
+	if req.Indices != nil {
+		n = len(req.Indices)
+	}
+	if n == 0 {
+		return StreamResult{}
+	}
+	if req.Indices == nil && req.Stride == 0 {
+		panic("dram: zero stride with no indices")
+	}
+
+	strided := req.Indices != nil || req.Stride != 1
+	width := c.issueWidth(strided)
+	start := c.clock.Now()
+	issue := start
+	var res StreamResult
+	res.Words = uint64(n)
+	res.StartLatency = uint64(c.cfg.CAS + c.cfg.TRCD)
+
+	var ring [queueDepth]uint64
+	inSlot := 0
+	finish := start
+	for i := 0; i < n; i++ {
+		addr := req.Base + i*req.Stride
+		if req.Indices != nil {
+			addr = req.Indices[i]
+		}
+		bank, row := c.bankAndRow(addr)
+
+		// Backpressure: the queue holds at most queueDepth outstanding
+		// accesses.
+		if i >= queueDepth && ring[i%queueDepth] > issue {
+			res.ConflictStalls += ring[i%queueDepth] - issue
+			issue = ring[i%queueDepth]
+		}
+
+		serve := issue
+		if c.openRow[bank] != row {
+			res.RowMisses++
+			c.stats.Inc("row_misses", 1)
+			if c.cfg.Reorder {
+				// The streaming controller schedules around activates;
+				// the bank is refreshed in the background.
+				c.bankFree[bank] = serve + c.rowCycle()
+			} else {
+				rowStart := serve
+				if c.bankFree[bank] > rowStart {
+					res.ConflictStalls += c.bankFree[bank] - rowStart
+					rowStart = c.bankFree[bank]
+				}
+				serve = rowStart + c.rowCycle()
+				c.bankFree[bank] = serve
+			}
+			c.openRow[bank] = row
+		}
+
+		ring[i%queueDepth] = serve
+		if serve > finish {
+			finish = serve
+		}
+		// Advance the issue slot: width words per cycle.
+		inSlot++
+		if inSlot == width {
+			inSlot = 0
+			issue++
+		}
+		if req.Write {
+			c.stats.Inc("words_written", 1)
+		} else {
+			c.stats.Inc("words_read", 1)
+		}
+	}
+	end := finish + 1
+	res.Cycles = end - start
+	c.clock.AdvanceTo(end)
+	c.stats.Inc("stream_requests", 1)
+	c.stats.Inc("busy_cycles", res.Cycles)
+	return res
+}
+
+// LineFetch models a cache-line fill of lineWords words at word address
+// addr: the full row activate + CAS latency plus the burst transfer. It
+// returns the total latency in cycles. Used by the PPC and Raw cache
+// models, where each miss is an isolated access rather than a stream.
+func (c *Controller) LineFetch(addr, lineWords int) uint64 {
+	bank, row := c.bankAndRow(addr)
+	lat := uint64(c.cfg.CAS)
+	if c.openRow[bank] != row {
+		lat += uint64(c.cfg.TRP + c.cfg.TRCD)
+		c.openRow[bank] = row
+		c.stats.Inc("row_misses", 1)
+	}
+	lat += sim.CeilDiv(uint64(lineWords), uint64(c.cfg.SeqWordsPerCycle))
+	c.stats.Inc("line_fetches", 1)
+	c.stats.Inc("words_read", uint64(lineWords))
+	return lat
+}
+
+// PeakSeqBandwidth returns the theoretical minimum cycles to move n words
+// at full sequential bandwidth — the Section 2.5 performance-model number.
+func (c *Controller) PeakSeqBandwidth(n uint64) uint64 {
+	return sim.CeilDiv(n, uint64(c.cfg.SeqWordsPerCycle))
+}
+
+// PeakStridedBandwidth returns the theoretical minimum cycles to move n
+// strided words given the address-generator limit.
+func (c *Controller) PeakStridedBandwidth(n uint64) uint64 {
+	return sim.CeilDiv(n, uint64(c.issueWidth(true)))
+}

@@ -1,0 +1,135 @@
+// Package cornerturn implements the corner-turn kernel: an out-of-place
+// matrix transpose of 32-bit elements, the pure memory-bandwidth test of
+// the paper ("the data in the source matrix is transposed and stored in
+// the destination matrix"). The paper's operand is 1024 x 1024 x 4 bytes:
+// larger than Imagine's 128 KB SRF and Raw's 2 MB of on-chip SRAM, but
+// smaller than VIRAM's 13 MB on-chip DRAM.
+//
+// Three functional variants are provided: the naive transpose (the
+// reference), a cache-blocked transpose (what the PPC and VIRAM use), and
+// a strip transpose that mirrors Imagine's multi-row-strip streaming
+// formulation. All produce identical results; they differ only in access
+// order, which is what the machine models account for.
+package cornerturn
+
+import (
+	"fmt"
+
+	"sigkern/internal/kernels/testsig"
+)
+
+// Spec describes one corner-turn problem instance.
+type Spec struct {
+	Rows, Cols int
+	// BlockSize is the tile edge for blocked variants (16 on VIRAM,
+	// 64 on Raw per the paper).
+	BlockSize int
+}
+
+// PaperSpec returns the paper's 1024 x 1024 x 4-byte instance.
+func PaperSpec() Spec { return Spec{Rows: 1024, Cols: 1024, BlockSize: 16} }
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return fmt.Errorf("cornerturn: non-positive dimensions %dx%d", s.Rows, s.Cols)
+	}
+	if s.BlockSize <= 0 {
+		return fmt.Errorf("cornerturn: non-positive block size %d", s.BlockSize)
+	}
+	return nil
+}
+
+// Words returns the number of 32-bit elements moved (one read and one
+// write each).
+func (s Spec) Words() uint64 { return uint64(s.Rows) * uint64(s.Cols) }
+
+// Transpose computes dst = src^T with a simple doubly nested loop. It is
+// the golden reference. dst must be Cols x Rows when src is Rows x Cols.
+func Transpose(dst, src *testsig.Matrix) error {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		return fmt.Errorf("cornerturn: dst %dx%d incompatible with src %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols)
+	}
+	for r := 0; r < src.Rows; r++ {
+		row := src.Data[r*src.Cols : (r+1)*src.Cols]
+		for c, v := range row {
+			dst.Data[c*dst.Cols+r] = v
+		}
+	}
+	return nil
+}
+
+// TransposeBlocked computes dst = src^T in block x block tiles, the
+// access order used by cache-based machines and by VIRAM's vector-
+// register staging. Dimensions need not be multiples of block.
+func TransposeBlocked(dst, src *testsig.Matrix, block int) error {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		return fmt.Errorf("cornerturn: dst %dx%d incompatible with src %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols)
+	}
+	if block <= 0 {
+		return fmt.Errorf("cornerturn: block size %d", block)
+	}
+	for r0 := 0; r0 < src.Rows; r0 += block {
+		r1 := min(r0+block, src.Rows)
+		for c0 := 0; c0 < src.Cols; c0 += block {
+			c1 := min(c0+block, src.Cols)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					dst.Data[c*dst.Cols+r] = src.Data[r*src.Cols+c]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TransposeStrips computes dst = src^T by reading `strips` row-strips at
+// a time and interleaving them into column-major output order — the
+// Imagine formulation ("we divide the matrix into multi-row strips ...
+// four input streams and one output stream").
+func TransposeStrips(dst, src *testsig.Matrix, strips int) error {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		return fmt.Errorf("cornerturn: dst %dx%d incompatible with src %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols)
+	}
+	if strips <= 0 {
+		return fmt.Errorf("cornerturn: strip count %d", strips)
+	}
+	for r0 := 0; r0 < src.Rows; r0 += strips {
+		r1 := min(r0+strips, src.Rows)
+		// The clusters route strip elements into output order: for each
+		// column, emit the strip's elements contiguously.
+		for c := 0; c < src.Cols; c++ {
+			for r := r0; r < r1; r++ {
+				dst.Data[c*dst.Cols+r] = src.Data[r*src.Cols+c]
+			}
+		}
+	}
+	return nil
+}
+
+// Checksum returns an order-independent-free (position-sensitive) FNV-1a
+// digest of the matrix contents, used by machine models to prove their
+// functional output matches the reference without holding both copies.
+func Checksum(m *testsig.Matrix) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h = (h ^ uint64(uint32(m.Rows))) * prime
+	h = (h ^ uint64(uint32(m.Cols))) * prime
+	for _, v := range m.Data {
+		h = (h ^ uint64(uint32(v))) * prime
+	}
+	return h
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

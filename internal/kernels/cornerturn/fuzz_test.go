@@ -1,0 +1,39 @@
+package cornerturn
+
+import (
+	"testing"
+
+	"sigkern/internal/kernels/testsig"
+)
+
+// FuzzTransposeVariants checks that all transpose variants agree with
+// the reference on arbitrary shapes and block sizes.
+func FuzzTransposeVariants(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(4), uint64(1))
+	f.Add(uint8(33), uint8(17), uint8(7), uint64(2))
+	f.Add(uint8(1), uint8(64), uint8(16), uint64(3))
+	f.Fuzz(func(t *testing.T, rows, cols, block uint8, seed uint64) {
+		r := int(rows)%48 + 1
+		c := int(cols)%48 + 1
+		b := int(block)%16 + 1
+		src := testsig.NewMatrix(r, c, seed)
+		ref := testsig.ZeroMatrix(c, r)
+		if err := Transpose(ref, src); err != nil {
+			t.Fatal(err)
+		}
+		blocked := testsig.ZeroMatrix(c, r)
+		if err := TransposeBlocked(blocked, src, b); err != nil {
+			t.Fatal(err)
+		}
+		if !blocked.Equal(ref) {
+			t.Fatalf("blocked transpose differs at %dx%d block %d", r, c, b)
+		}
+		strips := testsig.ZeroMatrix(c, r)
+		if err := TransposeStrips(strips, src, b); err != nil {
+			t.Fatal(err)
+		}
+		if !strips.Equal(ref) {
+			t.Fatalf("strip transpose differs at %dx%d strips %d", r, c, b)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package cslc
+
+import (
+	"math"
+	"testing"
+
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/kernels/testsig"
+)
+
+func TestPaperSpec(t *testing.T) {
+	s := PaperSpec(fft.MixedRadix42)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hop() != 112 {
+		t.Fatalf("hop = %d, want 112 ((8192-128)/72)", s.Hop())
+	}
+	if s.ForwardFFTs() != 4*73 {
+		t.Fatalf("forward FFTs = %d, want 292", s.ForwardFFTs())
+	}
+	if s.InverseFFTs() != 2*73 {
+		t.Fatalf("inverse FFTs = %d, want 146", s.InverseFFTs())
+	}
+	// Last window must end exactly at or before the sample count.
+	if end := (s.SubBands-1)*s.Hop() + s.FFTSize; end > s.Samples {
+		t.Fatalf("last window ends at %d > %d samples", end, s.Samples)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{MainChannels: 0, AuxChannels: 2, Samples: 8192, SubBands: 73, FFTSize: 128, Radix: fft.Radix2},
+		{MainChannels: 2, AuxChannels: 2, Samples: 64, SubBands: 73, FFTSize: 128, Radix: fft.Radix2},
+		{MainChannels: 2, AuxChannels: 2, Samples: 8192, SubBands: 0, FFTSize: 128, Radix: fft.Radix2},
+		{MainChannels: 2, AuxChannels: 2, Samples: 8192, SubBands: 73, FFTSize: 128, Radix: fft.Radix4}, // 128 != 4^k
+		{MainChannels: 2, AuxChannels: 2, Samples: 130, SubBands: 100, FFTSize: 128, Radix: fft.Radix2}, // hop 0
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d passed validation", i)
+		}
+	}
+}
+
+func TestExtractSubBandsOverlap(t *testing.T) {
+	s := PaperSpec(fft.Radix2)
+	x := make([]complex128, s.Samples)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	bands, err := ExtractSubBands(s, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 73 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	// Band b starts at b*112; check window contents and the 16-sample
+	// overlap between consecutive windows.
+	for b, w := range bands {
+		if real(w[0]) != float64(b*112) {
+			t.Fatalf("band %d starts at %v, want %d", b, w[0], b*112)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if bands[0][112+i] != bands[1][i] {
+			t.Fatal("overlap mismatch between consecutive bands")
+		}
+	}
+}
+
+func TestExtractSubBandsWrongLength(t *testing.T) {
+	s := PaperSpec(fft.Radix2)
+	if _, err := ExtractSubBands(s, make([]complex128, 100)); err == nil {
+		t.Fatal("wrong-length channel not rejected")
+	}
+}
+
+func smallSpec(radix fft.Radix) Spec {
+	return Spec{MainChannels: 2, AuxChannels: 2, Samples: 1024, SubBands: 15, FFTSize: 128, Radix: radix}
+}
+
+func TestRunEndToEndCancelsJammer(t *testing.T) {
+	s := smallSpec(fft.MixedRadix42)
+	scene := testsig.DefaultScene(s.Samples)
+	channels := scene.Channels(s.MainChannels)
+	w, err := EstimateWeights(s, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(s, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation depth: cancelled output power must be far below the
+	// uncancelled main-channel power (jammer-dominated), yet above zero
+	// (the target survives).
+	zero := NewWeights(s)
+	ref, err := Run(s, channels, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < s.MainChannels; m++ {
+		before := TotalPower(flatten(ref.Cancelled[m]))
+		after := TotalPower(flatten(out.Cancelled[m]))
+		depthDB := 10 * math.Log10(before/after)
+		if depthDB < 20 {
+			t.Fatalf("main %d: cancellation depth %.1f dB, want >= 20 dB", m, depthDB)
+		}
+		if after <= 0 {
+			t.Fatalf("main %d: cancelled output is exactly zero; target destroyed", m)
+		}
+	}
+}
+
+func TestRunPreservesTarget(t *testing.T) {
+	s := smallSpec(fft.MixedRadix42)
+	scene := testsig.DefaultScene(s.Samples)
+	// Jammer-free scene: weights estimated on a jammed scene must pass an
+	// (almost) clean target through. Build a clean scene for reference.
+	clean := scene
+	clean.JammerAmp = 0
+	cleanCh := clean.Channels(s.MainChannels)
+	jammedCh := scene.Channels(s.MainChannels)
+	w, err := EstimateWeights(s, jammedCh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(s, jammedCh, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := NewWeights(s)
+	cleanOut, err := Run(s, cleanCh, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare cancelled output to the clean target: within 6 dB of power.
+	pc := TotalPower(flatten(cleanOut.Cancelled[0]))
+	po := TotalPower(flatten(out.Cancelled[0]))
+	ratio := po / pc
+	if ratio < 0.25 || ratio > 4 {
+		t.Fatalf("cancelled/clean power ratio = %.3f, want within 6 dB of 1", ratio)
+	}
+}
+
+func TestZeroWeightsIdentity(t *testing.T) {
+	s := smallSpec(fft.Radix2)
+	scene := testsig.DefaultScene(s.Samples)
+	channels := scene.Channels(s.MainChannels)
+	out, err := Run(s, channels, NewWeights(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero weights the pipeline is FFT then IFFT: each cancelled
+	// band must reproduce its input window.
+	bands, _ := ExtractSubBands(s, channels[0])
+	for b := range bands {
+		for i := range bands[b] {
+			if d := absC(out.Cancelled[0][b][i] - bands[b][i]); d > 1e-9 {
+				t.Fatalf("band %d sample %d differs by %g", b, i, d)
+			}
+		}
+	}
+}
+
+func TestRadixChoiceDoesNotChangeResults(t *testing.T) {
+	s2 := smallSpec(fft.Radix2)
+	sm := smallSpec(fft.MixedRadix42)
+	scene := testsig.DefaultScene(s2.Samples)
+	channels := scene.Channels(2)
+	w, err := EstimateWeights(s2, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Run(s2, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := Run(sm, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range o2.Cancelled[0] {
+		for i := range o2.Cancelled[0][b] {
+			if d := absC(o2.Cancelled[0][b][i] - om.Cancelled[0][b][i]); d > 1e-9 {
+				t.Fatalf("radix-2 vs mixed differ at band %d sample %d by %g", b, i, d)
+			}
+		}
+	}
+}
+
+func TestApplyWeightsKnown(t *testing.T) {
+	main := []complex128{complex(2, 0), complex(0, 2)}
+	aux := [][]complex128{{complex(1, 0), complex(1, 0)}}
+	w := [][]complex128{{complex(1, 0), complex(0, 1)}}
+	out := ApplyWeights(main, aux, w)
+	if out[0] != complex(1, 0) {
+		t.Fatalf("out[0] = %v, want 1", out[0])
+	}
+	if out[1] != complex(0, 1) {
+		t.Fatalf("out[1] = %v, want i", out[1])
+	}
+}
+
+func TestTotalCountsConsistency(t *testing.T) {
+	s := PaperSpec(fft.Radix2)
+	c, err := s.TotalCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2M flops for the full interval: 438 transforms x 4480 flops plus
+	// the weight stage. Sanity-check the magnitude.
+	if c.Flops() < 1_500_000 || c.Flops() > 4_000_000 {
+		t.Fatalf("paper-spec radix-2 flops = %d, want ~2-3M", c.Flops())
+	}
+	// The mixed-radix plan must do fewer operations.
+	sm := PaperSpec(fft.MixedRadix42)
+	cm, err := sm.TotalCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Flops() >= c.Flops() {
+		t.Fatalf("mixed radix (%d flops) not cheaper than radix-2 (%d)", cm.Flops(), c.Flops())
+	}
+}
+
+func TestEstimateWeightsSingleAux(t *testing.T) {
+	s := Spec{MainChannels: 1, AuxChannels: 1, Samples: 1024, SubBands: 15, FFTSize: 128, Radix: fft.Radix2}
+	scene := testsig.DefaultScene(s.Samples)
+	scene.AuxCoupling = scene.AuxCoupling[:1]
+	channels := scene.Channels(1)
+	w, err := EstimateWeights(s, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(s, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(s, channels, NewWeights(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := TotalPower(flatten(ref.Cancelled[0])) / TotalPower(flatten(out.Cancelled[0]))
+	if 10*math.Log10(depth) < 20 {
+		t.Fatalf("single-aux cancellation depth %.1f dB, want >= 20", 10*math.Log10(depth))
+	}
+}
+
+func flatten(bands [][]complex128) [][]complex128 { return bands }
+
+func absC(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func BenchmarkCSLCPaperIntervalFunctional(b *testing.B) {
+	s := PaperSpec(fft.MixedRadix42)
+	scene := testsig.DefaultScene(s.Samples)
+	channels := scene.Channels(s.MainChannels)
+	w, err := EstimateWeights(s, channels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, channels, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSinglePrecisionPipelineMatchesDouble(t *testing.T) {
+	s := smallSpec(fft.MixedRadix42)
+	scene := testsig.DefaultScene(s.Samples)
+	channels := scene.Channels(s.MainChannels)
+	w, err := EstimateWeights(s, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d64, err := Run(s, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, err := RunSinglePrecision(s, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample-wise agreement to single-precision accuracy (relative to
+	// the jammer-scale inputs).
+	for b := range d64.Cancelled[0] {
+		for i := range d64.Cancelled[0][b] {
+			if diff := absC(d64.Cancelled[0][b][i] - d32.Cancelled[0][b][i]); diff > 1e-3 {
+				t.Fatalf("band %d sample %d differs by %g between precisions", b, i, diff)
+			}
+		}
+	}
+}
+
+func TestSinglePrecisionStillCancels(t *testing.T) {
+	// The canceller must survive float32 round-off: cancellation depth
+	// stays above 20 dB, the operating regime of the paper's machines.
+	s := smallSpec(fft.Radix2)
+	scene := testsig.DefaultScene(s.Samples)
+	channels := scene.Channels(s.MainChannels)
+	w, err := EstimateWeights(s, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunSinglePrecision(s, channels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunSinglePrecision(s, channels, NewWeights(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := TotalPower(ref.Cancelled[0]) / TotalPower(out.Cancelled[0])
+	if 10*math.Log10(depth) < 20 {
+		t.Fatalf("single-precision cancellation depth %.1f dB, want >= 20", 10*math.Log10(depth))
+	}
+}
+
+func TestSinglePrecisionRejectsBadInput(t *testing.T) {
+	s := smallSpec(fft.Radix2)
+	w := NewWeights(s)
+	if _, err := RunSinglePrecision(s, make([][]complex128, 1), w); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+	bad := make([][]complex128, s.Channels())
+	for i := range bad {
+		bad[i] = make([]complex128, 10)
+	}
+	if _, err := RunSinglePrecision(s, bad, w); err == nil {
+		t.Fatal("short channels accepted")
+	}
+}

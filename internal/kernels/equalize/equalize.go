@@ -1,0 +1,115 @@
+// Package equalize implements per-beam equalization, the stage the paper
+// names as the consumer of beam steering's output ("stream its outputs
+// to the following kernel (e.g., per-beam equalization)"). Each beam has
+// a complex FIR that flattens the channel response; the phase commands
+// from beam steering rotate the equalized output toward the beam's
+// direction.
+package equalize
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spec describes one equalizer bank.
+type Spec struct {
+	// Beams is the number of simultaneous beams.
+	Beams int
+	// Taps is the per-beam FIR length.
+	Taps int
+}
+
+// DefaultSpec matches the paper's beam count (4 directions per dwell)
+// with a short 8-tap equalizer.
+func DefaultSpec() Spec { return Spec{Beams: 4, Taps: 8} }
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Beams <= 0 || s.Taps <= 0 {
+		return fmt.Errorf("equalize: %d beams x %d taps", s.Beams, s.Taps)
+	}
+	return nil
+}
+
+// Bank holds per-beam FIR coefficients. Coeffs[beam][tap].
+type Bank struct {
+	spec   Spec
+	Coeffs [][]complex128
+}
+
+// NewBank builds an equalizer whose beam b inverts the simple exponential
+// channel model channel_b(z) = 1 + rho_b z^-1 (truncated geometric
+// inverse), a standard test channel.
+func NewBank(spec Spec, rho []float64) (*Bank, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rho) != spec.Beams {
+		return nil, fmt.Errorf("equalize: %d rho values for %d beams", len(rho), spec.Beams)
+	}
+	b := &Bank{spec: spec, Coeffs: make([][]complex128, spec.Beams)}
+	for beam := 0; beam < spec.Beams; beam++ {
+		if math.Abs(rho[beam]) >= 1 {
+			return nil, fmt.Errorf("equalize: beam %d channel not invertible (|rho| = %v)", beam, math.Abs(rho[beam]))
+		}
+		c := make([]complex128, spec.Taps)
+		// (1 + rho z^-1)^-1 = sum (-rho)^k z^-k.
+		for k := 0; k < spec.Taps; k++ {
+			c[k] = complex(math.Pow(-rho[beam], float64(k)), 0)
+		}
+		b.Coeffs[beam] = c
+	}
+	return b, nil
+}
+
+// Spec returns the bank's configuration.
+func (b *Bank) Spec() Spec { return b.spec }
+
+// Channel applies the test channel for a beam: y[n] = x[n] + rho x[n-1].
+func Channel(rho float64, x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	var prev complex128
+	for i, v := range x {
+		y[i] = v + complex(rho, 0)*prev
+		prev = v
+	}
+	return y
+}
+
+// Apply equalizes one beam's sample stream and applies its phase command
+// (a fixed-point phase from the beam-steering kernel, scaled by phaseLSB
+// radians per unit).
+func (b *Bank) Apply(beam int, x []complex128, phase int32, phaseLSB float64) ([]complex128, error) {
+	if beam < 0 || beam >= b.spec.Beams {
+		return nil, fmt.Errorf("equalize: beam %d out of range", beam)
+	}
+	rot := cmplx.Exp(complex(0, float64(phase)*phaseLSB))
+	c := b.Coeffs[beam]
+	out := make([]complex128, len(x))
+	for n := range x {
+		var acc complex128
+		for k := 0; k < len(c) && k <= n; k++ {
+			acc += c[k] * x[n-k]
+		}
+		out[n] = acc * rot
+	}
+	return out, nil
+}
+
+// ResidualPower measures how far eq is from the (phase-rotated) original
+// x: the mean squared error after removing the known rotation. A good
+// equalizer drives this far below the signal power.
+func ResidualPower(x, eq []complex128, phase int32, phaseLSB float64) float64 {
+	rot := cmplx.Exp(complex(0, float64(phase)*phaseLSB))
+	var mse float64
+	for i := range x {
+		d := eq[i] - x[i]*rot
+		mse += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return mse / float64(len(x))
+}
+
+// OpsPerSample returns real operations per output sample: Taps complex
+// MACs plus the final rotation.
+func (s Spec) OpsPerSample() uint64 { return uint64(8*s.Taps) + 6 }

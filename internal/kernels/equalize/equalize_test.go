@@ -1,0 +1,105 @@
+package equalize
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"sigkern/internal/sim"
+)
+
+func signal(n int, seed uint64) []complex128 {
+	p := sim.NewPRNG(seed)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(p.Float64()*2-1, p.Float64()*2-1)
+	}
+	return x
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Spec{{Beams: 0, Taps: 4}, {Beams: 2, Taps: 0}} {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %+v passed", s)
+		}
+	}
+}
+
+func TestNewBankRejectsBadInputs(t *testing.T) {
+	if _, err := NewBank(DefaultSpec(), []float64{0.1}); err == nil {
+		t.Fatal("rho length mismatch accepted")
+	}
+	if _, err := NewBank(Spec{Beams: 1, Taps: 4}, []float64{1.5}); err == nil {
+		t.Fatal("non-invertible channel accepted")
+	}
+}
+
+func TestEqualizerInvertsChannel(t *testing.T) {
+	spec := Spec{Beams: 2, Taps: 16}
+	rho := []float64{0.4, -0.3}
+	bank, err := NewBank(spec, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for beam := 0; beam < spec.Beams; beam++ {
+		x := signal(512, uint64(beam)+1)
+		y := Channel(rho[beam], x)
+		eq, err := bank.Apply(beam, y, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Residual relative to the signal power: the truncated inverse
+		// leaves rho^Taps of energy (~0.4^16 ~ 4e-7).
+		var sig float64
+		for _, v := range x {
+			sig += real(v)*real(v) + imag(v)*imag(v)
+		}
+		sig /= float64(len(x))
+		res := ResidualPower(x, eq, 0, 0)
+		if res > 1e-6*sig {
+			t.Fatalf("beam %d: residual %g vs signal %g", beam, res, sig)
+		}
+	}
+}
+
+func TestPhaseRotationApplied(t *testing.T) {
+	bank, err := NewBank(Spec{Beams: 1, Taps: 1}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{1, complex(0, 1)}
+	// Phase command 1<<18 with LSB 2*pi/2^20 = pi/2 rotation... use
+	// phase = 1<<18, lsb = 2*pi/2^20 -> angle = pi/2.
+	lsb := 2 * math.Pi / float64(1<<20)
+	eq, err := bank.Apply(0, x, 1<<18, lsb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := complex(0, 1) // 1 rotated by pi/2
+	if cmplx.Abs(eq[0]-want0) > 1e-12 {
+		t.Fatalf("eq[0] = %v, want %v", eq[0], want0)
+	}
+	// Rotation preserves energy.
+	if math.Abs(cmplx.Abs(eq[1])-1) > 1e-12 {
+		t.Fatal("rotation changed magnitude")
+	}
+}
+
+func TestApplyRejectsBadBeam(t *testing.T) {
+	bank, err := NewBank(DefaultSpec(), []float64{0.1, 0.2, 0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.Apply(7, signal(8, 1), 0, 0); err == nil {
+		t.Fatal("out-of-range beam accepted")
+	}
+}
+
+func TestOpsPerSample(t *testing.T) {
+	if got := (Spec{Beams: 1, Taps: 8}).OpsPerSample(); got != 70 {
+		t.Fatalf("OpsPerSample = %d, want 70 (8 complex MACs + rotation)", got)
+	}
+}

@@ -1,0 +1,136 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func to32(x []complex128) []complex64 {
+	out := make([]complex64, len(x))
+	for i, v := range x {
+		out[i] = complex64(v)
+	}
+	return out
+}
+
+func maxErr32(a []complex64, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(complex128(a[i]) - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestTransform32MatchesDoublePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		radix Radix
+	}{
+		{8, Radix2}, {128, Radix2}, {64, Radix4}, {128, MixedRadix42}, {32, MixedRadix42},
+	} {
+		p := MustPlan(tc.n, tc.radix, false)
+		x := randomSignal(tc.n, uint64(tc.n)+uint64(tc.radix))
+		ref := make([]complex128, tc.n)
+		if err := p.Transform(ref, x); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex64, tc.n)
+		if err := p.Transform32(got, to32(x)); err != nil {
+			t.Fatal(err)
+		}
+		// Single precision: ~1e-7 relative error times sqrt(N) growth.
+		scale := 0.0
+		for _, v := range ref {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if e := maxErr32(got, ref); e > 1e-4*(1+scale) {
+			t.Errorf("N=%d %s: single-precision error %g (scale %g)", tc.n, tc.radix, e, scale)
+		}
+	}
+}
+
+func TestTransform32RoundTrip(t *testing.T) {
+	for _, radix := range []Radix{Radix2, MixedRadix42} {
+		fwd := MustPlan(128, radix, false)
+		inv := MustPlan(128, radix, true)
+		x := to32(randomSignal(128, 77))
+		f := make([]complex64, 128)
+		back := make([]complex64, 128)
+		if err := fwd.Transform32(f, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Transform32(back, f); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			d := complex128(back[i] - x[i])
+			if cmplx.Abs(d) > 1e-4 {
+				t.Fatalf("%s: round trip error %g at %d", radix, cmplx.Abs(d), i)
+			}
+		}
+	}
+}
+
+func TestTransform32LengthMismatch(t *testing.T) {
+	p := MustPlan(64, Radix2, false)
+	if err := p.Transform32(make([]complex64, 64), make([]complex64, 32)); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestTransform32InPlace(t *testing.T) {
+	p := MustPlan(64, Radix4, false)
+	x := randomSignal(64, 5)
+	ref := make([]complex128, 64)
+	if err := p.Transform(ref, x); err != nil {
+		t.Fatal(err)
+	}
+	buf := to32(x)
+	if err := p.Transform32(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr32(buf, ref); e > 1e-3 {
+		t.Fatalf("in-place single-precision error %g", e)
+	}
+}
+
+func TestSinglePrecisionErrorGrowthIsBounded(t *testing.T) {
+	// The 128-point transform's round-off must stay near machine epsilon
+	// times sqrt(N log N) — the well-conditioned FFT property that makes
+	// single precision acceptable for the paper's CSLC.
+	p := MustPlan(128, MixedRadix42, false)
+	worst := 0.0
+	for seed := uint64(0); seed < 20; seed++ {
+		x := randomSignal(128, seed)
+		ref := make([]complex128, 128)
+		_ = p.Transform(ref, x)
+		got := make([]complex64, 128)
+		_ = p.Transform32(got, to32(x))
+		var num, den float64
+		for i := range ref {
+			num += cmplx.Abs(complex128(got[i])-ref[i]) * cmplx.Abs(complex128(got[i])-ref[i])
+			den += cmplx.Abs(ref[i]) * cmplx.Abs(ref[i])
+		}
+		if rel := math.Sqrt(num / den); rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 5e-6 {
+		t.Fatalf("relative RMS error %g, want < 5e-6 for a 128-point FFT", worst)
+	}
+}
+
+func BenchmarkFFT128Mixed32(b *testing.B) {
+	p := MustPlan(128, MixedRadix42, false)
+	x := to32(randomSignal(128, 1))
+	dst := make([]complex64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Transform32(dst, x)
+	}
+}

@@ -1,0 +1,44 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzTransformParseval checks the energy identity and round trip on
+// arbitrary inputs. The seeds run in every `go test`; `go test -fuzz`
+// explores further.
+func FuzzTransformParseval(f *testing.F) {
+	f.Add(uint64(1), int16(4), int16(-3))
+	f.Add(uint64(99), int16(0), int16(0))
+	f.Add(uint64(12345), int16(32000), int16(-32000))
+	fwd := MustPlan(128, MixedRadix42, false)
+	inv := MustPlan(128, MixedRadix42, true)
+	f.Fuzz(func(t *testing.T, seed uint64, re, im int16) {
+		x := randomSignal(128, seed)
+		// Inject one adversarial sample.
+		x[int(seed%128)] = complex(float64(re)/256, float64(im)/256)
+		X := make([]complex128, 128)
+		if err := fwd.Transform(X, x); err != nil {
+			t.Fatal(err)
+		}
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		if math.Abs(et-ef/128) > 1e-6*(1+et) {
+			t.Fatalf("Parseval violated: time %g vs freq/N %g", et, ef/128)
+		}
+		back := make([]complex128, 128)
+		if err := inv.Transform(back, X); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			if cmplx.Abs(back[i]-x[i]) > 1e-8*(1+cmplx.Abs(x[i])) {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}

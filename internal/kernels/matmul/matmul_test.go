@@ -1,0 +1,148 @@
+package matmul
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MACs() != 256*256*256 {
+		t.Fatalf("MACs = %d", s.MACs())
+	}
+	if s.Flops() != 2*s.MACs() {
+		t.Fatal("Flops != 2*MACs")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{M: 0, N: 2, K: 2, BlockSize: 2},
+		{M: 2, N: 2, K: -1, BlockSize: 2},
+		{M: 2, N: 2, K: 2, BlockSize: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d passed", i)
+		}
+	}
+}
+
+func TestMultiplyKnown(t *testing.T) {
+	a := ZeroMat(2, 3)
+	b := ZeroMat(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := ZeroMat(2, 2)
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMultiplyShapeMismatch(t *testing.T) {
+	if err := Multiply(ZeroMat(2, 2), ZeroMat(2, 3), ZeroMat(2, 2)); err == nil {
+		t.Fatal("inner mismatch accepted")
+	}
+	if err := MultiplyBlocked(ZeroMat(3, 2), ZeroMat(2, 3), ZeroMat(3, 2), 2); err == nil {
+		t.Fatal("output mismatch accepted")
+	}
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{8, 8, 8}, {16, 8, 24}, {33, 17, 9}} {
+		a := NewMat(dims[0], dims[2], 1)
+		b := NewMat(dims[2], dims[1], 2)
+		ref := ZeroMat(dims[0], dims[1])
+		if err := Multiply(ref, a, b); err != nil {
+			t.Fatal(err)
+		}
+		for _, block := range []int{1, 4, 7, 64} {
+			got := ZeroMat(dims[0], dims[1])
+			if err := MultiplyBlocked(got, a, b, block); err != nil {
+				t.Fatal(err)
+			}
+			if Checksum(got) != Checksum(ref) {
+				t.Fatalf("dims %v block %d: blocked result differs", dims, block)
+			}
+		}
+	}
+}
+
+// Property: (A*B)*e_j equals A*(B*e_j) — associativity against a basis
+// vector, checked without a second full multiply.
+func TestMultiplyColumnProperty(t *testing.T) {
+	a := NewMat(12, 9, 3)
+	b := NewMat(9, 7, 4)
+	c := ZeroMat(12, 7)
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	f := func(ji uint8) bool {
+		j := int(ji) % 7
+		// Column j of C must equal A * (column j of B).
+		for i := 0; i < 12; i++ {
+			var want float64
+			for k := 0; k < 9; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if c.At(i, j) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiplying by the identity is the identity.
+func TestMultiplyIdentityProperty(t *testing.T) {
+	a := NewMat(10, 10, 5)
+	id := ZeroMat(10, 10)
+	for i := 0; i < 10; i++ {
+		id.Set(i, i, 1)
+	}
+	c := ZeroMat(10, 10)
+	if err := Multiply(c, a, id); err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(c) != Checksum(a) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	a := NewMat(8, 8, 1)
+	b := NewMat(8, 8, 1)
+	if Checksum(a) != Checksum(b) {
+		t.Fatal("identical matrices differ")
+	}
+	b.Set(0, 0, b.At(0, 0)+1)
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("changed matrix has same checksum")
+	}
+}
+
+func BenchmarkMultiplyBlocked256(b *testing.B) {
+	a := NewMat(256, 256, 1)
+	bb := NewMat(256, 256, 2)
+	c := ZeroMat(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := MultiplyBlocked(c, a, bb, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package pfb
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Channels: 0, Taps: 4},
+		{Channels: 3, Taps: 4}, // not a power of two
+		{Channels: 8, Taps: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d passed", i)
+		}
+	}
+}
+
+func tone(n int, f float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * f * float64(i)
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return x
+}
+
+func TestProcessMatchesDirect(t *testing.T) {
+	b, err := New(Spec{Channels: 16, Taps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tone(16*12, 0.13)
+	got, err := b.Process(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		want, err := b.DirectFrame(x, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if cmplx.Abs(got[f][c]-want[c]) > 1e-9 {
+				t.Fatalf("frame %d channel %d: %v vs %v", f, c, got[f][c], want[c])
+			}
+		}
+	}
+}
+
+func TestToneLandsInItsChannel(t *testing.T) {
+	b, err := New(DefaultSpec()) // 64 channels
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tone centred in channel 9.
+	f := (9.0 + 0.0) / 64.0
+	x := tone(64*40, f)
+	frames, err := b.Process(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a steady-state frame (after the filter fills).
+	frame := frames[len(frames)/2]
+	want := b.ChannelOf(f)
+	best, bestMag := 0, 0.0
+	var total float64
+	for c, v := range frame {
+		mag := cmplx.Abs(v)
+		total += mag * mag
+		if mag > bestMag {
+			best, bestMag = c, mag
+		}
+	}
+	if best != want {
+		t.Fatalf("tone at f=%.4f peaked in channel %d, want %d", f, best, want)
+	}
+	// Channel selectivity: the peak channel holds nearly all the energy.
+	if frac := bestMag * bestMag / total; frac < 0.9 {
+		t.Fatalf("peak channel holds %.2f of energy, want > 0.9", frac)
+	}
+}
+
+func TestChannelSeparation(t *testing.T) {
+	// Two tones in different channels must not leak into each other.
+	b, err := New(Spec{Channels: 32, Taps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := 5.0/32.0, 19.0/32.0
+	x1 := tone(32*40, f1)
+	x2 := tone(32*40, f2)
+	x := make([]complex128, len(x1))
+	for i := range x {
+		x[i] = x1[i] + 2*x2[i]
+	}
+	frames, err := b.Process(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frames[len(frames)/2]
+	c1, c2 := b.ChannelOf(f1), b.ChannelOf(f2)
+	m1, m2 := cmplx.Abs(frame[c1]), cmplx.Abs(frame[c2])
+	if m1 < 1e-3 || m2 < 1e-3 {
+		t.Fatalf("tones missing from their channels: %g, %g", m1, m2)
+	}
+	// Amplitude ratio preserved (~2x) within filter ripple.
+	if r := m2 / m1; r < 1.6 || r > 2.4 {
+		t.Fatalf("amplitude ratio %.2f, want ~2", r)
+	}
+	// A far-away channel is quiet.
+	far := (c1 + 10) % 32
+	if far == c2 {
+		far = (far + 3) % 32
+	}
+	if leak := cmplx.Abs(frame[far]); leak > 0.05*m1 {
+		t.Fatalf("leakage %.4f into channel %d", leak, far)
+	}
+}
+
+func TestFramesAccounting(t *testing.T) {
+	b, err := New(Spec{Channels: 8, Taps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Frames(31) != 0 {
+		t.Fatal("short input should produce no frames")
+	}
+	if got := b.Frames(32); got != 1 {
+		t.Fatalf("Frames(32) = %d, want 1", got)
+	}
+	if got := b.Frames(48); got != 3 {
+		t.Fatalf("Frames(48) = %d, want 3", got)
+	}
+	if _, err := b.Process(make([]complex128, 10)); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestOpsPerFrame(t *testing.T) {
+	s := Spec{Channels: 64, Taps: 8}
+	ops := s.OpsPerFrame()
+	// FIR: 4*64*8 = 2048; FFT-64 radix-2: (64/2)*6 butterflies * 10 = 1920.
+	if ops != 2048+1920 {
+		t.Fatalf("OpsPerFrame = %d, want 3968", ops)
+	}
+}
+
+func BenchmarkProcess64x8(b *testing.B) {
+	bank, err := New(DefaultSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tone(64*256, 0.21)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bank.Process(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package testsig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatrixDeterministic(t *testing.T) {
+	a := NewMatrix(16, 16, 5)
+	b := NewMatrix(16, 16, 5)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := NewMatrix(16, 16, 6)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := ZeroMatrix(3, 5)
+	m.Set(2, 4, 42)
+	if m.At(2, 4) != 42 {
+		t.Fatalf("At(2,4) = %d", m.At(2, 4))
+	}
+	if m.Bytes() != 3*5*4 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestMatrixEqualShape(t *testing.T) {
+	a := ZeroMatrix(2, 3)
+	b := ZeroMatrix(3, 2)
+	if a.Equal(b) {
+		t.Fatal("different shapes compared equal")
+	}
+}
+
+func TestSceneChannels(t *testing.T) {
+	s := DefaultScene(1024)
+	ch := s.Channels(2)
+	if len(ch) != 4 {
+		t.Fatalf("channels = %d, want 2 main + 2 aux", len(ch))
+	}
+	for i, c := range ch {
+		if len(c) != 1024 {
+			t.Fatalf("channel %d has %d samples", i, len(c))
+		}
+	}
+	// Main channels are jammer-dominated (jammer amp 1 vs target 0.01).
+	mainPow := Power(ch[0])
+	if mainPow < 0.5 || mainPow > 2 {
+		t.Fatalf("main power = %v, want ~1 (jammer dominated)", mainPow)
+	}
+	// Aux channels carry the coupled jammer: power ~ |g|^2.
+	g := s.AuxCoupling[0]
+	want := real(g)*real(g) + imag(g)*imag(g)
+	if p := Power(ch[2]); math.Abs(p-want) > 0.2*want+0.01 {
+		t.Fatalf("aux0 power = %v, want ~%v", p, want)
+	}
+}
+
+func TestSceneDeterministic(t *testing.T) {
+	a := DefaultScene(256).Channels(2)
+	b := DefaultScene(256).Channels(2)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("scene generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(0, 0)}
+	if p := Power(x); p != 12.5 {
+		t.Fatalf("Power = %v, want 12.5", p)
+	}
+}
+
+func TestNewBeamTablesSizes(t *testing.T) {
+	tb := NewBeamTables(1608, 4, 8, 7)
+	if len(tb.ElementCal) != 1608 || len(tb.DirSteer) != 4 || len(tb.DwellBase) != 8 {
+		t.Fatalf("table sizes %d/%d/%d", len(tb.ElementCal), len(tb.DirSteer), len(tb.DwellBase))
+	}
+	tb2 := NewBeamTables(1608, 4, 8, 7)
+	for i := range tb.ElementCal {
+		if tb.ElementCal[i] != tb2.ElementCal[i] {
+			t.Fatal("tables not deterministic")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package machines
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sigkern/internal/core"
+	"sigkern/internal/imagine"
+	"sigkern/internal/ppc"
+	"sigkern/internal/rawsim"
+	"sigkern/internal/viram"
+)
+
+// ConfigSet bundles every machine's configuration so an experiment's
+// exact hardware parameters can be saved and reloaded. Zero-valued
+// sections fall back to the paper defaults.
+type ConfigSet struct {
+	// PPC configures both baseline variants (the variant field itself is
+	// forced per machine when instantiating).
+	PPC     *ppc.Config     `json:"ppc,omitempty"`
+	VIRAM   *viram.Config   `json:"viram,omitempty"`
+	Imagine *imagine.Config `json:"imagine,omitempty"`
+	Raw     *rawsim.Config  `json:"raw,omitempty"`
+}
+
+// DefaultConfigSet returns the paper configuration of every machine.
+func DefaultConfigSet() ConfigSet {
+	p := ppc.DefaultConfig(ppc.Scalar)
+	v := viram.DefaultConfig()
+	i := imagine.DefaultConfig()
+	r := rawsim.DefaultConfig()
+	return ConfigSet{PPC: &p, VIRAM: &v, Imagine: &i, Raw: &r}
+}
+
+// Validate checks every present section.
+func (c ConfigSet) Validate() error {
+	if c.PPC != nil {
+		if err := c.PPC.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.VIRAM != nil {
+		if err := c.VIRAM.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Imagine != nil {
+		if err := c.Imagine.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Raw != nil {
+		if err := c.Raw.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Machines instantiates the five study machines from the set, using
+// paper defaults for absent sections.
+func (c ConfigSet) Machines() ([]core.Machine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	scalar := ppc.DefaultConfig(ppc.Scalar)
+	vector := ppc.DefaultConfig(ppc.AltiVec)
+	if c.PPC != nil {
+		scalar = *c.PPC
+		scalar.Variant = ppc.Scalar
+		vector = *c.PPC
+		vector.Variant = ppc.AltiVec
+	}
+	vcfg := viram.DefaultConfig()
+	if c.VIRAM != nil {
+		vcfg = *c.VIRAM
+	}
+	icfg := imagine.DefaultConfig()
+	if c.Imagine != nil {
+		icfg = *c.Imagine
+	}
+	rcfg := rawsim.DefaultConfig()
+	if c.Raw != nil {
+		rcfg = *c.Raw
+	}
+	return []core.Machine{
+		ppc.New(scalar),
+		ppc.New(vector),
+		viram.New(vcfg),
+		imagine.New(icfg),
+		rawsim.New(rcfg),
+	}, nil
+}
+
+// SaveConfigSet writes the set as indented JSON.
+func SaveConfigSet(path string, c ConfigSet) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadConfigSet reads a set written by SaveConfigSet (or hand-edited).
+// Unknown fields are rejected so typos in hand-edited configs surface
+// instead of silently reverting to defaults.
+func LoadConfigSet(path string) (ConfigSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ConfigSet{}, err
+	}
+	var c ConfigSet
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return ConfigSet{}, fmt.Errorf("machines: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return ConfigSet{}, fmt.Errorf("machines: %s: %w", path, err)
+	}
+	return c, nil
+}

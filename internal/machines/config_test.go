@@ -1,0 +1,133 @@
+package machines
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/cornerturn"
+)
+
+func TestDefaultConfigSetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machines.json")
+	if err := SaveConfigSet(path, DefaultConfigSet()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfigSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := loaded.Machines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("%d machines", len(ms))
+	}
+	// The round-tripped machines must reproduce the default results.
+	def := All()
+	for i := range ms {
+		rd, err := def[i].RunCornerTurn(cornerturn.PaperSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := ms[i].RunCornerTurn(cornerturn.PaperSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Cycles != rl.Cycles {
+			t.Fatalf("%s: round-tripped config changed cycles: %d vs %d",
+				def[i].Name(), rd.Cycles, rl.Cycles)
+		}
+	}
+}
+
+func TestConfigSetPartialOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "viram-only.json")
+	v := DefaultConfigSet().VIRAM
+	v.DRAM.AddrGens = 8
+	if err := SaveConfigSet(path, ConfigSet{VIRAM: v}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfigSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := loaded.Machines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modified, baseline core.Machine
+	for _, m := range ms {
+		if m.Name() == "VIRAM" {
+			modified = m
+		}
+	}
+	for _, m := range All() {
+		if m.Name() == "VIRAM" {
+			baseline = m
+		}
+	}
+	rm, err := modified.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := baseline.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Cycles >= rb.Cycles {
+		t.Fatalf("8-address-generator override (%d) not faster than default (%d)",
+			rm.Cycles, rb.Cycles)
+	}
+}
+
+func TestLoadConfigSetRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"viram": {"Lanes": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfigSet(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"virammm": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfigSet(typo); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := LoadConfigSet(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workload.json")
+	w := core.PaperWorkload()
+	w.Beam.Dwells = 16
+	if err := SaveWorkload(path, w); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Beam.Dwells != 16 || loaded.CornerTurn.Rows != 1024 {
+		t.Fatalf("round trip lost fields: %+v", loaded)
+	}
+	// Invalid workloads are rejected on load.
+	bad := w
+	bad.CSLC.SubBands = 0
+	if err := SaveWorkload(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWorkload(path); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package machines_test
+
+import (
+	"fmt"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+// Example runs the full paper study through the public framework and
+// reports the per-kernel winners — the headline finding of the paper.
+func Example() {
+	sr, err := core.RunStudy(machines.All(), core.PaperWorkload())
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range core.Kernels() {
+		fmt.Printf("%s winner: %s\n", k.Title(), sr.BestMachine(k))
+	}
+	raw := sr.SpeedupCycles(machines.Baseline, "Raw", core.CornerTurn)
+	fmt.Printf("Raw corner-turn speedup over AltiVec exceeds 100x: %v\n", raw > 100)
+	// Output:
+	// Corner Turn winner: Raw
+	// CSLC winner: Imagine
+	// Beam Steering winner: Raw
+	// Raw corner-turn speedup over AltiVec exceeds 100x: true
+}

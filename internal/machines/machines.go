@@ -1,0 +1,49 @@
+// Package machines constructs the study's machine models with their
+// paper configurations: the PowerPC G4 baseline (scalar and AltiVec) and
+// the three research architectures (VIRAM, Imagine, Raw).
+package machines
+
+import (
+	"fmt"
+
+	"sigkern/internal/core"
+	"sigkern/internal/imagine"
+	"sigkern/internal/ppc"
+	"sigkern/internal/rawsim"
+	"sigkern/internal/viram"
+)
+
+// Baseline is the name of the speedup baseline used by Figures 8 and 9
+// (the paper normalizes to the G4 with AltiVec).
+const Baseline = "AltiVec"
+
+// All returns every machine in the paper's Table 3 row order:
+// PPC, AltiVec, VIRAM, Imagine, Raw.
+func All() []core.Machine {
+	return []core.Machine{
+		ppc.New(ppc.DefaultConfig(ppc.Scalar)),
+		ppc.New(ppc.DefaultConfig(ppc.AltiVec)),
+		viram.New(viram.DefaultConfig()),
+		imagine.New(imagine.DefaultConfig()),
+		rawsim.New(rawsim.DefaultConfig()),
+	}
+}
+
+// Research returns only the three research architectures.
+func Research() []core.Machine {
+	return []core.Machine{
+		viram.New(viram.DefaultConfig()),
+		imagine.New(imagine.DefaultConfig()),
+		rawsim.New(rawsim.DefaultConfig()),
+	}
+}
+
+// ByName returns the named machine with its default configuration.
+func ByName(name string) (core.Machine, error) {
+	for _, m := range All() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("machines: unknown machine %q", name)
+}

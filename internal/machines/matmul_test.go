@@ -1,0 +1,85 @@
+package machines
+
+import (
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/matmul"
+)
+
+// TestEveryMachineRunsMatMul: the extension kernel is implemented on all
+// five machines through the optional MatMulRunner interface.
+func TestEveryMachineRunsMatMul(t *testing.T) {
+	spec := matmul.DefaultSpec()
+	results := map[string]core.Result{}
+	for _, m := range All() {
+		mr, ok := m.(core.MatMulRunner)
+		if !ok {
+			t.Fatalf("%s does not implement MatMulRunner", m.Name())
+		}
+		r, err := mr.RunMatMul(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !r.Verified || r.Cycles == 0 || r.Kernel != core.MatMul {
+			t.Fatalf("%s: bad result %+v", m.Name(), r)
+		}
+		results[m.Name()] = r
+	}
+
+	// Shape expectations for a compute-bound kernel with 16.8M MACs:
+	//  - Imagine's 48 ALUs win (near 1 MAC/cycle/cluster x 8 clusters),
+	//  - Raw and VIRAM land within an order of magnitude of their peak
+	//    compute rates,
+	//  - the baseline is slowest in cycle counts and AltiVec beats scalar.
+	if results["Imagine"].Cycles >= results["Raw"].Cycles {
+		t.Errorf("Imagine (%d) should beat Raw (%d) on matmul",
+			results["Imagine"].Cycles, results["Raw"].Cycles)
+	}
+	if results["Raw"].Cycles >= results["PPC"].Cycles {
+		t.Errorf("Raw (%d) should beat scalar PPC (%d)",
+			results["Raw"].Cycles, results["PPC"].Cycles)
+	}
+	if results["AltiVec"].Cycles >= results["PPC"].Cycles {
+		t.Errorf("AltiVec (%d) should beat scalar PPC (%d)",
+			results["AltiVec"].Cycles, results["PPC"].Cycles)
+	}
+	// Ops-per-cycle sanity: Imagine should sustain several MACs/cycle;
+	// nothing should exceed its own peak ALU count.
+	peaks := map[string]float64{"PPC": 4, "AltiVec": 8, "VIRAM": 16, "Imagine": 48, "Raw": 16}
+	for name, r := range results {
+		opc := r.OpsPerCycle()
+		if opc > peaks[name] {
+			t.Errorf("%s: %.1f ops/cycle exceeds its %0.f-ALU peak", name, opc, peaks[name])
+		}
+	}
+	if opc := results["Imagine"].OpsPerCycle(); opc < 6 {
+		t.Errorf("Imagine matmul at %.1f ops/cycle; the 1-cycle-II loop should sustain more", opc)
+	}
+}
+
+// TestMatMulComputeBound: unlike the corner turn, matmul must be
+// compute-dominated on the research machines.
+func TestMatMulComputeBound(t *testing.T) {
+	spec := matmul.DefaultSpec()
+	for _, m := range Research() {
+		r, err := m.(core.MatMulRunner).RunMatMul(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := r.Breakdown.Get("compute")
+		mem := r.Breakdown.Get("memory") + r.Breakdown.Get("load-store")
+		if comp <= mem {
+			t.Errorf("%s: matmul not compute-bound (%s)", m.Name(), r.Breakdown.String())
+		}
+	}
+}
+
+func TestMatMulRejectsInvalidSpecs(t *testing.T) {
+	bad := matmul.Spec{M: 0, N: 4, K: 4, BlockSize: 2}
+	for _, m := range All() {
+		if _, err := m.(core.MatMulRunner).RunMatMul(bad); err == nil {
+			t.Errorf("%s accepted an invalid matmul spec", m.Name())
+		}
+	}
+}

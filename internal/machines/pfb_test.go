@@ -1,0 +1,78 @@
+package machines
+
+import (
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/pfb"
+)
+
+// PFBRunner is the extension interface every machine implements.
+type pfbRunner interface {
+	RunPFB(pfb.Workload) (core.Result, error)
+}
+
+func TestEveryMachineRunsPFB(t *testing.T) {
+	w := pfb.DefaultWorkload()
+	results := map[string]core.Result{}
+	for _, m := range All() {
+		r, ok := m.(pfbRunner)
+		if !ok {
+			t.Fatalf("%s does not implement RunPFB", m.Name())
+		}
+		res, err := r.RunPFB(w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !res.Verified || res.Cycles == 0 {
+			t.Fatalf("%s: bad result %+v", m.Name(), res)
+		}
+		results[m.Name()] = res
+	}
+	// Shape: the channelizer is a streaming compute kernel — the three
+	// research machines beat both baseline variants in cycles, and the
+	// stream machine leads.
+	for _, name := range []string{"VIRAM", "Imagine", "Raw"} {
+		if results[name].Cycles >= results["AltiVec"].Cycles {
+			t.Errorf("%s (%d) not faster than AltiVec (%d)",
+				name, results[name].Cycles, results["AltiVec"].Cycles)
+		}
+	}
+	if results["Imagine"].Cycles >= results["Raw"].Cycles {
+		t.Errorf("Imagine (%d) should lead Raw (%d) on the streaming channelizer",
+			results["Imagine"].Cycles, results["Raw"].Cycles)
+	}
+	// Nothing exceeds its own ALU peak.
+	peaks := map[string]float64{"PPC": 4, "AltiVec": 8, "VIRAM": 16, "Imagine": 48, "Raw": 16}
+	for name, r := range results {
+		if opc := r.OpsPerCycle(); opc > peaks[name] {
+			t.Errorf("%s: %.1f ops/cycle exceeds peak", name, opc)
+		}
+	}
+}
+
+func TestVIRAMPFBRejectsNonPowerOfFourChannels(t *testing.T) {
+	w := pfb.Workload{Spec: pfb.Spec{Channels: 32, Taps: 4}, Samples: 32 * 64}
+	m, err := ByName("VIRAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.(pfbRunner).RunPFB(w); err == nil {
+		t.Fatal("32-channel PFB accepted by the radix-4 emitter")
+	}
+}
+
+func TestPFBRejectsInvalidWorkloads(t *testing.T) {
+	bad := pfb.Workload{Spec: pfb.Spec{Channels: 3, Taps: 2}, Samples: 64}
+	for _, m := range All() {
+		if _, err := m.(pfbRunner).RunPFB(bad); err == nil {
+			t.Errorf("%s accepted an invalid PFB workload", m.Name())
+		}
+	}
+	short := pfb.Workload{Spec: pfb.DefaultSpec(), Samples: 10}
+	for _, m := range All() {
+		if _, err := m.(pfbRunner).RunPFB(short); err == nil {
+			t.Errorf("%s accepted a too-short PFB workload", m.Name())
+		}
+	}
+}

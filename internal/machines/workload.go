@@ -1,0 +1,39 @@
+package machines
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sigkern/internal/core"
+)
+
+// SaveWorkload writes a workload as indented JSON so an experiment's
+// kernel parameters travel with its machine configurations.
+func SaveWorkload(path string, w core.Workload) error {
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadWorkload reads a workload written by SaveWorkload (or hand-edited);
+// unknown fields are rejected and the result is validated.
+func LoadWorkload(path string) (core.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	var w core.Workload
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return core.Workload{}, fmt.Errorf("machines: parsing %s: %w", path, err)
+	}
+	if err := w.Validate(); err != nil {
+		return core.Workload{}, fmt.Errorf("machines: %s: %w", path, err)
+	}
+	return w, nil
+}

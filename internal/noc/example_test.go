@@ -1,0 +1,26 @@
+package noc_test
+
+import (
+	"fmt"
+
+	"sigkern/internal/noc"
+)
+
+// Example shows the Raw static network's latency law: three cycles
+// between nearest neighbours plus one per additional hop (Section 2.3 of
+// the paper).
+func Example() {
+	m := noc.NewMesh(noc.RawMesh())
+	corner := m.TileAt(0, 0)
+	for _, to := range []struct {
+		x, y int
+	}{{1, 0}, {3, 0}, {3, 3}} {
+		t := m.TileAt(to.x, to.y)
+		fmt.Printf("(0,0)->(%d,%d): %d hops, latency %d\n",
+			to.x, to.y, m.Hops(corner, t), m.StaticLatency(corner, t))
+	}
+	// Output:
+	// (0,0)->(1,0): 1 hops, latency 3
+	// (0,0)->(3,0): 3 hops, latency 5
+	// (0,0)->(3,3): 6 hops, latency 8
+}

@@ -1,0 +1,26 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/perfmodel"
+)
+
+// Example reproduces the Section 2.5 reasoning for the corner turn: the
+// peak-bandwidth bounds the paper compares its measurements against.
+func Example() {
+	spec := cornerturn.PaperSpec()
+	for _, name := range []string{"VIRAM", "Imagine", "Raw"} {
+		t, err := perfmodel.ForMachine(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: peak-model corner turn = %dk cycles\n",
+			name, perfmodel.ExpectedCornerTurn(t, spec)/1000)
+	}
+	// Output:
+	// VIRAM: peak-model corner turn = 262k cycles
+	// Imagine: peak-model corner turn = 1048k cycles
+	// Raw: peak-model corner turn = 131k cycles
+}

@@ -1,0 +1,131 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+)
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 has %d rows, want 3", len(rows))
+	}
+	want := map[string][3]float64{
+		"VIRAM":   {8, 2, 8},
+		"Imagine": {16, 2, 48},
+		"Raw":     {16, 16, 16},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Machine]
+		if !ok {
+			t.Fatalf("unexpected machine %q", r.Machine)
+		}
+		if r.OnChipRW != w[0] || r.OffChipRW != w[1] || r.Compute != w[2] {
+			t.Fatalf("%s: got %v/%v/%v, want %v", r.Machine, r.OnChipRW, r.OffChipRW, r.Compute, w)
+		}
+	}
+}
+
+func TestForMachine(t *testing.T) {
+	if _, err := ForMachine("VIRAM"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForMachine("G5"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestExpectedCornerTurn(t *testing.T) {
+	spec := cornerturn.PaperSpec() // 1M elements, 2M word transfers
+	viram, _ := ForMachine("VIRAM")
+	imagine, _ := ForMachine("Imagine")
+	raw, _ := ForMachine("Raw")
+	// VIRAM: 2M words at 8/cycle on-chip = 262,144 cycles (the paper:
+	// measured is "about half of what would have been expected").
+	if got := ExpectedCornerTurn(viram, spec); got != 2*1024*1024/8 {
+		t.Fatalf("VIRAM expected = %d, want 262144", got)
+	}
+	// Imagine: 2M words at 2/cycle off-chip = 1,048,576 cycles.
+	if got := ExpectedCornerTurn(imagine, spec); got != 2*1024*1024/2 {
+		t.Fatalf("Imagine expected = %d, want 1048576", got)
+	}
+	// Raw: issue-bound at 16 instructions/cycle = 131,072 cycles.
+	if got := ExpectedCornerTurn(raw, spec); got != 2*1024*1024/16 {
+		t.Fatalf("Raw expected = %d, want 131072", got)
+	}
+}
+
+func TestExpectedCornerTurnStrided(t *testing.T) {
+	spec := cornerturn.PaperSpec()
+	viram, _ := ForMachine("VIRAM")
+	// Strided reads at 4/cycle + sequential writes at 8/cycle.
+	want := uint64(1024*1024/4 + 1024*1024/8)
+	if got := ExpectedCornerTurnStrided(viram, spec); got != want {
+		t.Fatalf("VIRAM strided expected = %d, want %d", got, want)
+	}
+	// Machines without a strided limit fall back to the plain bound.
+	raw, _ := ForMachine("Raw")
+	if got := ExpectedCornerTurnStrided(raw, spec); got != ExpectedCornerTurn(raw, spec) {
+		t.Fatal("Raw strided bound should equal plain bound")
+	}
+}
+
+func TestExpectedCSLCOrdering(t *testing.T) {
+	spec := cslc.PaperSpec(fft.MixedRadix42)
+	var prev uint64
+	// Higher compute throughput gives a lower bound: Imagine < Raw < VIRAM.
+	for i, name := range []string{"Imagine", "Raw", "VIRAM"} {
+		tp, _ := ForMachine(name)
+		got, err := ExpectedCSLC(tp, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && got <= prev {
+			t.Fatalf("%s bound %d not above previous %d", name, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedBeamSteering(t *testing.T) {
+	spec := beamsteer.PaperSpec()
+	viram, _ := ForMachine("VIRAM")
+	// Memory-bound: 3 words x 51,456 outputs at 8 words/cycle.
+	want := uint64(3 * 51456 / 8)
+	if got := ExpectedBeamSteering(viram, spec); got != want {
+		t.Fatalf("VIRAM beam steering bound = %d, want %d", got, want)
+	}
+	// Raw: compute-bound (6 ops at 16/cycle > 3 words at 16/cycle).
+	raw, _ := ForMachine("Raw")
+	if got := ExpectedBeamSteering(raw, spec); got != uint64(6*51456/16) {
+		t.Fatalf("Raw beam steering bound = %d", got)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	spec := cornerturn.PaperSpec()
+	measured := map[string]uint64{"VIRAM": 554_000, "Imagine": 1_439_000, "Raw": 146_000}
+	rows, err := Table4(spec, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured == 0 || r.Expected == 0 {
+			t.Fatalf("row %+v has zeros", r)
+		}
+		if r.Ratio() < 1 {
+			t.Fatalf("%s: measured beat the peak model (ratio %.2f)", r.Machine, r.Ratio())
+		}
+	}
+	// Missing machines are an error.
+	if _, err := Table4(spec, map[string]uint64{"VIRAM": 1}); err == nil {
+		t.Fatal("incomplete measurements accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package report renders the study's tables and figures as aligned text
+// tables, log-scale text bar charts (Figures 8 and 9 use log axes in the
+// paper), and CSV for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned ASCII table with a header row.
+func Table(w io.Writer, title string, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			return fmt.Errorf("report: row has %d cells, header has %d", len(row), len(headers))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	var sep []string
+	for _, width := range widths {
+		sep = append(sep, strings.Repeat("-", width))
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarSeries is one group of bars in a chart: a label (kernel name) and
+// one value per series (machine).
+type BarSeries struct {
+	Label  string
+	Values []float64
+}
+
+// LogBarChart renders grouped horizontal bars on a log10 axis, the text
+// analogue of the paper's Figures 8 and 9. Values must be positive.
+func LogBarChart(w io.Writer, title string, series []string, groups []BarSeries, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	for _, g := range groups {
+		if len(g.Values) != len(series) {
+			return fmt.Errorf("report: group %q has %d values, want %d", g.Label, len(g.Values), len(series))
+		}
+		for _, v := range g.Values {
+			if v <= 0 {
+				return fmt.Errorf("report: non-positive value %v in %q (log axis)", v, g.Label)
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s (log scale, full bar = %.1f)\n", title, maxV); err != nil {
+		return err
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	logMax := math.Log10(maxV * 1.001)
+	// The axis spans from 1 (bar length 0) to maxV (full width); values
+	// below 1 get a minimal bar.
+	for _, g := range groups {
+		if _, err := fmt.Fprintf(w, "%s\n", g.Label); err != nil {
+			return err
+		}
+		for i, s := range series {
+			v := g.Values[i]
+			frac := 0.0
+			if logMax > 0 && v > 1 {
+				frac = math.Log10(v) / logMax
+			}
+			n := int(frac*float64(width) + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			bar := strings.Repeat("#", n)
+			if _, err := fmt.Fprintf(w, "  %-*s |%-*s %8.2f\n", nameW, s, width, bar, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes rows as comma-separated values with a header. Cells
+// containing commas or quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	all := append([][]string{headers}, rows...)
+	for _, row := range all {
+		if len(row) != len(headers) {
+			return fmt.Errorf("report: csv row has %d cells, want %d", len(row), len(headers))
+		}
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KCycles formats a cycle count in the paper's Table 3 unit (thousands).
+func KCycles(c uint64) string {
+	return fmt.Sprintf("%.0f", float64(c)/1e3)
+}
+
+// Speedup formats a speedup factor.
+func Speedup(s float64) string {
+	if s >= 100 {
+		return fmt.Sprintf("%.0f", s)
+	}
+	return fmt.Sprintf("%.1f", s)
+}
+
+// ResultRow is one parsed line of a StudyCSV file.
+type ResultRow struct {
+	Machine string
+	Kernel  string
+	Cycles  uint64
+}
+
+// ParseStudyCSV reads the CSV written by StudyCSV back into rows. It
+// understands only the subset CSV emits (quoted cells never appear in
+// machine or kernel names).
+func ParseStudyCSV(r io.Reader) ([]ResultRow, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("report: CSV has no data rows")
+	}
+	header := strings.Split(lines[0], ",")
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, need := range []string{"machine", "kernel", "cycles"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("report: CSV missing %q column", need)
+		}
+	}
+	var rows []ResultRow
+	for n, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != len(header) {
+			return nil, fmt.Errorf("report: CSV line %d has %d cells, want %d", n+2, len(cells), len(header))
+		}
+		var cycles uint64
+		if _, err := fmt.Sscanf(cells[col["cycles"]], "%d", &cycles); err != nil {
+			return nil, fmt.Errorf("report: CSV line %d: bad cycles %q", n+2, cells[col["cycles"]])
+		}
+		rows = append(rows, ResultRow{
+			Machine: cells[col["machine"]],
+			Kernel:  cells[col["kernel"]],
+			Cycles:  cycles,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %d, want 0", c.Now())
+	}
+	if got := c.Advance(5); got != 5 {
+		t.Fatalf("Advance(5) = %d, want 5", got)
+	}
+	if got := c.Advance(3); got != 8 {
+		t.Fatalf("second Advance = %d, want 8", got)
+	}
+}
+
+func TestClockAdvanceToNeverMovesBackward(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	if got := c.AdvanceTo(4); got != 10 {
+		t.Fatalf("AdvanceTo(4) = %d, want 10 (no backward motion)", got)
+	}
+	if got := c.AdvanceTo(15); got != 15 {
+		t.Fatalf("AdvanceTo(15) = %d, want 15", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset clock at %d, want 0", c.Now())
+	}
+}
+
+func TestBreakdownAddGetTotal(t *testing.T) {
+	var b Breakdown
+	b.Add("memory", 70)
+	b.Add("compute", 30)
+	b.Add("memory", 10)
+	if got := b.Get("memory"); got != 80 {
+		t.Fatalf("Get(memory) = %d, want 80", got)
+	}
+	if got := b.Total(); got != 110 {
+		t.Fatalf("Total = %d, want 110", got)
+	}
+	if got := b.Get("absent"); got != 0 {
+		t.Fatalf("Get(absent) = %d, want 0", got)
+	}
+}
+
+func TestBreakdownFraction(t *testing.T) {
+	var b Breakdown
+	if f := b.Fraction("x"); f != 0 {
+		t.Fatalf("empty breakdown Fraction = %v, want 0", f)
+	}
+	b.Add("a", 25)
+	b.Add("b", 75)
+	if f := b.Fraction("b"); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("Fraction(b) = %v, want 0.75", f)
+	}
+}
+
+func TestBreakdownCategoriesSorted(t *testing.T) {
+	var b Breakdown
+	b.Add("zeta", 1)
+	b.Add("alpha", 1)
+	b.Add("mid", 1)
+	got := b.Categories()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Categories = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBreakdownMergeAndClone(t *testing.T) {
+	var a, b Breakdown
+	a.Add("x", 5)
+	b.Add("x", 7)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 12 || a.Get("y") != 3 {
+		t.Fatalf("after merge: x=%d y=%d, want 12 3", a.Get("x"), a.Get("y"))
+	}
+	c := a.Clone()
+	c.Add("x", 100)
+	if a.Get("x") != 12 {
+		t.Fatalf("Clone is not independent: a.x=%d", a.Get("x"))
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	var b Breakdown
+	b.Add("busy", 73)
+	b.Scale(64, 73) // the Raw load-balance extrapolation shape
+	if got := b.Get("busy"); got != 64 {
+		t.Fatalf("Scale(64/73) of 73 = %d, want 64", got)
+	}
+}
+
+func TestBreakdownScaleZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale with zero denominator did not panic")
+		}
+	}()
+	var b Breakdown
+	b.Add("x", 1)
+	b.Scale(1, 0)
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add("mem", 90)
+	b.Add("cpu", 10)
+	s := b.String()
+	if !strings.Contains(s, "mem=90 (90.0%)") || !strings.Contains(s, "cpu=10 (10.0%)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Inc("loads", 4)
+	s.Inc("loads", 6)
+	s.Inc("stores", 1)
+	if s.Get("loads") != 10 {
+		t.Fatalf("loads = %d, want 10", s.Get("loads"))
+	}
+	var other Stats
+	other.Inc("loads", 1)
+	other.Inc("flops", 2)
+	s.Merge(other)
+	if s.Get("loads") != 11 || s.Get("flops") != 2 {
+		t.Fatalf("after merge: %s", s.String())
+	}
+	if !strings.Contains(s.String(), "flops=2") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {16, 8, 2}, {17, 8, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv by zero did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+// Property: CeilDiv(a,b)*b >= a and (CeilDiv(a,b)-1)*b < a for a > 0.
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint64, b uint64) bool {
+		a %= 1 << 32
+		b = b%1024 + 1
+		q := CeilDiv(a, b)
+		if q*b < a {
+			return false
+		}
+		if a > 0 && (q-1)*b >= a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	a := NewPRNG(42)
+	b := NewPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestPRNGZeroSeedRemapped(t *testing.T) {
+	p := NewPRNG(0)
+	if p.Uint64() == 0 && p.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestPRNGIntnRange(t *testing.T) {
+	p := NewPRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := p.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestPRNGIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewPRNG(1).Intn(0)
+}
+
+func TestPRNGFloat64Range(t *testing.T) {
+	p := NewPRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := p.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPRNGNormFloat64Moments(t *testing.T) {
+	p := NewPRNG(11)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := p.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}

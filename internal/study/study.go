@@ -1,0 +1,182 @@
+// Package study implements the design-space sweeps around the paper's
+// fixed measurement points: the excursions its analysis gestures at
+// (address-generator counts, tile counts, descriptor registers, dwell
+// density, matrix size) as structured, testable experiments.
+package study
+
+import (
+	"fmt"
+
+	"sigkern/internal/core"
+	"sigkern/internal/imagine"
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/machines"
+	"sigkern/internal/rawsim"
+	"sigkern/internal/viram"
+)
+
+// Point is one sweep sample: a label for the swept value and the
+// simulated cycles per machine.
+type Point struct {
+	Label  string
+	Cycles map[string]uint64
+}
+
+// MatrixSizes sweeps the corner-turn matrix edge across every machine.
+func MatrixSizes(sizes []int) ([]Point, error) {
+	var out []Point
+	for _, n := range sizes {
+		spec := cornerturn.Spec{Rows: n, Cols: n, BlockSize: 16}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		p := Point{Label: fmt.Sprintf("%dx%d", n, n), Cycles: map[string]uint64{}}
+		for _, m := range machines.All() {
+			r, err := m.RunCornerTurn(spec)
+			if err != nil {
+				return nil, fmt.Errorf("study: %s at %d: %w", m.Name(), n, err)
+			}
+			p.Cycles[m.Name()] = r.Cycles
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// VIRAMAddrGens sweeps the number of VIRAM address generators on the
+// corner turn (the paper's 24% strided-limit factor).
+func VIRAMAddrGens(gens []int) ([]Point, error) {
+	var out []Point
+	for _, g := range gens {
+		cfg := viram.DefaultConfig()
+		cfg.DRAM.AddrGens = g
+		r, err := viram.New(cfg).RunCornerTurn(cornerturn.PaperSpec())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			Label:  fmt.Sprintf("%d", g),
+			Cycles: map[string]uint64{"VIRAM": r.Cycles},
+		})
+	}
+	return out, nil
+}
+
+// RawTiles sweeps the Raw mesh edge on the corner turn. The shape this
+// produces is the perimeter-versus-area story: tiles (and issue slots)
+// grow with the mesh area but DRAM ports only with its perimeter, so the
+// kernel flips from issue-bound below 4x4 to port-bound above it.
+func RawTiles(edges []int) ([]Point, error) {
+	var out []Point
+	for _, e := range edges {
+		cfg := rawsim.DefaultConfig()
+		cfg.Mesh.Width, cfg.Mesh.Height = e, e
+		r, err := rawsim.New(cfg).RunCornerTurn(cornerturn.PaperSpec())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			Label:  fmt.Sprintf("%dx%d", e, e),
+			Cycles: map[string]uint64{"Raw": r.Cycles},
+		})
+	}
+	return out, nil
+}
+
+// ImagineDescriptors sweeps the stream-descriptor-register count on the
+// fully software-pipelined corner turn.
+func ImagineDescriptors(counts []int) ([]Point, error) {
+	var out []Point
+	for _, n := range counts {
+		cfg := imagine.DefaultConfig()
+		cfg.StreamDescRegs = n
+		cfg.FullPipelining = true
+		r, err := imagine.New(cfg).RunCornerTurn(cornerturn.PaperSpec())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			Label:  fmt.Sprintf("%d", n),
+			Cycles: map[string]uint64{"Imagine": r.Cycles},
+		})
+	}
+	return out, nil
+}
+
+// BeamDwells sweeps the beam-steering dwell count across every machine.
+func BeamDwells(dwells []int) ([]Point, error) {
+	var out []Point
+	for _, d := range dwells {
+		spec := beamsteer.PaperSpec()
+		spec.Dwells = d
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		p := Point{Label: fmt.Sprintf("%d", d), Cycles: map[string]uint64{}}
+		for _, m := range machines.All() {
+			r, err := m.RunBeamSteering(spec)
+			if err != nil {
+				return nil, err
+			}
+			p.Cycles[m.Name()] = r.Cycles
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CSLCFFTSizes sweeps the CSLC sub-band transform length across every
+// machine, holding the total sample count fixed (fewer, longer bands as
+// the FFT grows). The paper fixes N=128; the sweep shows how each
+// machine's CSLC cost moves as the working set and the per-transform
+// startup change.
+func CSLCFFTSizes(sizes []int) ([]Point, error) {
+	var out []Point
+	for _, n := range sizes {
+		spec := cslc.PaperSpec(fft.BestRadix(n))
+		spec.FFTSize = n
+		// Keep roughly the paper's band overlap: bands span the samples
+		// with a hop of 7/8 of the window.
+		spec.SubBands = (spec.Samples-n)/(n*7/8) + 1
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		p := Point{Label: fmt.Sprintf("%d-pt x %d bands", n, spec.SubBands), Cycles: map[string]uint64{}}
+		for _, m := range machines.All() {
+			r, err := m.RunCSLC(spec)
+			if err != nil {
+				return nil, fmt.Errorf("study: %s at N=%d: %w", m.Name(), n, err)
+			}
+			p.Cycles[m.Name()] = r.Cycles
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// EqualClockSpeedups answers the paper's closing speculation — "if the
+// same level of design effort were applied to these research
+// architectures, we would expect much higher clock rates" — by reporting
+// speedups over the baseline when every machine is normalized to the
+// same clock. At equal clocks the time ratio equals the cycle ratio, so
+// this is Figure 8 recast as wall-clock.
+func EqualClockSpeedups(sr *core.StudyResults, baseline string) (map[string]map[core.KernelID]float64, error) {
+	out := make(map[string]map[core.KernelID]float64)
+	for _, name := range sr.MachineNames() {
+		if name == baseline {
+			continue
+		}
+		out[name] = make(map[core.KernelID]float64)
+		for _, k := range core.Kernels() {
+			s := sr.SpeedupCycles(baseline, name, k)
+			if s <= 0 {
+				return nil, fmt.Errorf("study: non-positive speedup for %s/%s", name, k)
+			}
+			out[name][k] = s
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package study
+
+import (
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+func TestMatrixSizesScaleRoughlyQuadratically(t *testing.T) {
+	pts, err := MatrixSizes([]int{256, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, name := range []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"} {
+		small := pts[0].Cycles[name]
+		big := pts[1].Cycles[name]
+		if small == 0 || big == 0 {
+			t.Fatalf("%s: missing cycles", name)
+		}
+		ratio := float64(big) / float64(small)
+		// 4x the elements: between 3x and 6x the cycles (startup effects
+		// and cache behaviour bend it).
+		if ratio < 3 || ratio > 6 {
+			t.Errorf("%s: 512/256 cycle ratio = %.2f, want ~4", name, ratio)
+		}
+	}
+}
+
+func TestVIRAMAddrGensMonotone(t *testing.T) {
+	pts, err := VIRAMAddrGens([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycles["VIRAM"] >= pts[i-1].Cycles["VIRAM"] {
+			t.Fatalf("more address generators did not help: %v -> %v",
+				pts[i-1].Cycles, pts[i].Cycles)
+		}
+	}
+}
+
+func TestRawTilesPerimeterVsArea(t *testing.T) {
+	pts, err := RawTiles([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := pts[0].Cycles["Raw"]
+	c4 := pts[1].Cycles["Raw"]
+	c8 := pts[2].Cycles["Raw"]
+	// Issue-bound region: 4x4 is much faster than 2x2.
+	if float64(c2)/float64(c4) < 2.5 {
+		t.Fatalf("2x2 (%d) to 4x4 (%d) gain too small", c2, c4)
+	}
+	// Port-bound region: 8x8 does NOT extend the scaling — ports grow
+	// with the perimeter while tiles grow with the area.
+	if c8 < c4 {
+		t.Fatalf("8x8 (%d) beat 4x4 (%d); the corner turn should be port-bound", c8, c4)
+	}
+}
+
+func TestImagineDescriptorsNeverHurt(t *testing.T) {
+	pts, err := ImagineDescriptors([]int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycles["Imagine"] > pts[i-1].Cycles["Imagine"] {
+			t.Fatalf("more descriptors slowed the corner turn: %v -> %v",
+				pts[i-1].Cycles, pts[i].Cycles)
+		}
+	}
+}
+
+func TestBeamDwellsLinear(t *testing.T) {
+	pts, err := BeamDwells([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c4 := range pts[0].Cycles {
+		c8 := pts[1].Cycles[name]
+		ratio := float64(c8) / float64(c4)
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%s: 8/4 dwell ratio = %.2f, want ~2 (linear)", name, ratio)
+		}
+	}
+}
+
+func TestEqualClockSpeedups(t *testing.T) {
+	sr, err := core.RunStudy(machines.All(), core.PaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := EqualClockSpeedups(sr, machines.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq) != 4 { // PPC, VIRAM, Imagine, Raw
+		t.Fatalf("%d machines in equal-clock view", len(eq))
+	}
+	// At equal clock, every research chip beats the baseline on every
+	// kernel — the paper's technology-scaling conclusion.
+	for _, name := range []string{"VIRAM", "Imagine", "Raw"} {
+		for _, k := range core.Kernels() {
+			if eq[name][k] <= 1 {
+				t.Errorf("%s/%s equal-clock speedup %.2f <= 1", name, k, eq[name][k])
+			}
+		}
+	}
+}
+
+func TestCSLCFFTSizeCrossover(t *testing.T) {
+	// The paper notes that "the small size of the FFT reduces the amount
+	// of software pipelining and increases start-up overheads" on
+	// Imagine. The sweep exposes the crossover: at 32-point transforms
+	// the per-kernel dispatch cost hands the win to VIRAM (which
+	// vectorizes across bands, indifferent to transform length); from the
+	// paper's 128-point size upward, Imagine leads.
+	pts, err := CSLCFFTSizes([]int{32, 128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Cycles["VIRAM"] >= pts[0].Cycles["Imagine"] {
+		t.Errorf("32-pt: VIRAM (%d) should beat startup-bound Imagine (%d)",
+			pts[0].Cycles["VIRAM"], pts[0].Cycles["Imagine"])
+	}
+	for _, p := range pts[1:] {
+		if p.Cycles["Imagine"] >= p.Cycles["VIRAM"] {
+			t.Errorf("%s: Imagine (%d) not ahead of VIRAM (%d)",
+				p.Label, p.Cycles["Imagine"], p.Cycles["VIRAM"])
+		}
+	}
+	// Longer transforms amortize per-FFT startup on Imagine: the 512-pt
+	// point costs less than the 32-pt point despite equal sample counts.
+	if pts[2].Cycles["Imagine"] >= pts[0].Cycles["Imagine"] {
+		t.Errorf("Imagine startup not amortized: %v", pts)
+	}
+}

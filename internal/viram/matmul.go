@@ -1,0 +1,56 @@
+package viram
+
+import (
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/matmul"
+)
+
+// RunMatMul implements core.MatMulRunner: a rank-1-update formulation in
+// which each C row chunk stays in a vector register while the K loop
+// streams B rows past it — the classic vectorization, unit-stride
+// throughout, so the kernel is bound by ALU0's FP rate rather than the
+// address generators.
+func (m *Machine) RunMatMul(spec matmul.Spec) (core.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	if err := matmul.VerifyBlocked(spec); err != nil {
+		return core.Result{}, err
+	}
+
+	m.reset()
+	aBase := m.alloc(spec.M * spec.K)
+	bBase := m.alloc(spec.K * spec.N)
+	cBase := m.alloc(spec.M * spec.N)
+	p := &prog{}
+	for i := 0; i < spec.M; i++ {
+		j0 := 0
+		for _, vl := range chunks(spec.N, m.cfg.MVL) {
+			// C chunk lives in v0 for the whole K loop.
+			p.load(vl, cBase+i*spec.N+j0, 0)
+			for k := 0; k < spec.K; k++ {
+				// Scalar A element folded as the multiplier.
+				p.load(vl, bBase+k*spec.N+j0, 1)
+				p.fmul(vl, 2, 1)    // b * a(scalar)
+				p.fadd(vl, 0, 0, 2) // accumulate into the C chunk
+			}
+			p.store(vl, cBase+i*spec.N+j0, 0)
+			p.scalar(2)
+			_ = aBase
+			j0 += vl
+		}
+	}
+	res := m.exec(p.insts)
+	return core.Result{
+		Machine:   m.Name(),
+		Kernel:    core.MatMul,
+		Cycles:    res.Cycles,
+		Breakdown: res.Breakdown,
+		Stats:     res.Stats,
+		Ops:       spec.Flops(),
+		// B streams past every output row (one word per MAC — vector
+		// registers hold C, not B), plus C in/out and the A scalars.
+		Words:    spec.MACs() + 2*uint64(spec.M)*uint64(spec.N) + uint64(spec.M)*uint64(spec.K),
+		Verified: true,
+	}, nil
+}

@@ -1,0 +1,472 @@
+// Package viram models the Berkeley VIRAM processor-in-memory chip: a
+// vector unit fused with on-chip DRAM. The model captures the properties
+// the paper's analysis turns on:
+//
+//   - a 256-bit datapath to DRAM: 8 sequential 32-bit words per cycle,
+//     but only 4 address generators, so strided and indexed accesses run
+//     at half rate (Section 4.2: "24% are due to a limitation in strided
+//     load performance imposed by the number of address generators");
+//   - two vector arithmetic units of which only ALU0 executes vector
+//     floating point (Section 4.3: "performance on the FFT is reduced by
+//     a factor of 1.52");
+//   - banked on-chip DRAM with visible precharge on strided streams and
+//     a TLB (Section 4.2: "21% of the total cycles are overhead due to
+//     DRAM pre-charge cycles ... and TLB misses");
+//   - vector startup and chaining latency (Section 4.4: "waiting for the
+//     results from previous vector operations").
+//
+// Execution is an in-order, one-instruction-per-cycle issue scoreboard
+// with chaining: a dependent vector instruction may begin once the
+// producer's first elements emerge (producer start + startup latency).
+// Kernel implementations generate real vector instruction streams whose
+// counts derive from the same loop structures as the functional kernels.
+package viram
+
+import (
+	"fmt"
+
+	"sigkern/internal/core"
+	"sigkern/internal/dram"
+	"sigkern/internal/sim"
+)
+
+// Op is a vector (or scalar bookkeeping) operation.
+type Op int
+
+// The VIRAM vector ISA subset used by the kernels.
+const (
+	// VLoad is a unit-stride vector load.
+	VLoad Op = iota
+	// VLoadStride is a strided vector load (address-generator limited).
+	VLoadStride
+	// VStore is a unit-stride vector store.
+	VStore
+	// VStoreStride is a strided vector store.
+	VStoreStride
+	// VAddF and VMulF are vector single-precision FP add/multiply
+	// (ALU0 only).
+	VAddF
+	VMulF
+	// VFMA is a fused multiply-add (ALU0 only, counts two flops).
+	VFMA
+	// VAddI and VShift are vector integer ops (either ALU).
+	VAddI
+	VShift
+	// VPerm is an element shuffle (ALU0 only in this implementation, as
+	// in the chip: "some operations are allowed to execute on ALU0 only").
+	VPerm
+	// Scalar is scalar-core bookkeeping (loop control, address setup)
+	// with an explicit cycle cost.
+	Scalar
+)
+
+// Inst is one instruction of a kernel's vector program.
+type Inst struct {
+	Op Op
+	// VL is the vector length in 32-bit elements.
+	VL int
+	// Base and Stride give word addresses for memory operations.
+	Base, Stride int
+	// Dst, Src1, Src2 are vector register numbers; -1 means none (or a
+	// scalar operand).
+	Dst, Src1, Src2 int
+	// Cost is the cycle cost of a Scalar op.
+	Cost int
+}
+
+// Config parameterizes the machine model.
+type Config struct {
+	Name     string
+	ClockMHz float64
+	// Lanes is the 32-bit element throughput per cycle of an integer
+	// vector unit (8: the 256-bit datapath).
+	Lanes int
+	// FPLanes is the per-cycle FP element throughput of ALU0, the only
+	// unit that executes vector FP (8 lanes; the asymmetry costs the FFT
+	// a factor of ~1.5 versus a hypothetical dual-FP-unit chip).
+	FPLanes int
+	// MVL is the maximum vector length in 32-bit elements (the 8 KB
+	// register file holds 32 registers of 64 elements).
+	MVL int
+	// VRegs is the architectural vector register count.
+	VRegs int
+	// StartupALU and StartupMem are the pipeline-fill latencies before a
+	// dependent instruction can chain.
+	StartupALU, StartupMem int
+	// IssueQueue is the depth of the vector instruction queue between the
+	// scalar core and the vector unit: dispatch runs ahead of execution
+	// by at most this many instructions, which is what lets memory and
+	// arithmetic instructions overlap despite in-order dispatch.
+	IssueQueue int
+	// PadWords is the row padding applied to the corner-turn matrix to
+	// avoid DRAM bank conflicts (the paper: "strided load operations
+	// with padding added to the matrix rows").
+	PadWords int
+	// TLBEntries, TLBPageBytes and TLBMissPenalty model the address
+	// translation overhead visible on large strided walks.
+	TLBEntries, TLBPageBytes int
+	TLBMissPenalty           uint64
+	// DRAM is the on-chip DRAM configuration.
+	DRAM dram.Config
+}
+
+// DefaultConfig returns the model of the chip described in the paper.
+func DefaultConfig() Config {
+	return Config{
+		Name:       "VIRAM",
+		ClockMHz:   200,
+		Lanes:      8,
+		FPLanes:    8,
+		MVL:        64,
+		VRegs:      32,
+		StartupALU: 8,
+		StartupMem: 10,
+		IssueQueue: 8,
+		PadWords:   8,
+		TLBEntries: 48, TLBPageBytes: 64 << 10, TLBMissPenalty: 2,
+		DRAM: dram.VIRAMDRAM(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Lanes <= 0 || c.FPLanes <= 0 || c.FPLanes > c.Lanes:
+		return fmt.Errorf("viram: lanes %d / FP lanes %d", c.Lanes, c.FPLanes)
+	case c.MVL <= 0 || c.VRegs <= 0:
+		return fmt.Errorf("viram: MVL %d / VRegs %d", c.MVL, c.VRegs)
+	case c.StartupALU < 0 || c.StartupMem < 0:
+		return fmt.Errorf("viram: negative startup")
+	case c.IssueQueue <= 0:
+		return fmt.Errorf("viram: IssueQueue %d", c.IssueQueue)
+	case c.TLBEntries <= 0 || c.TLBPageBytes <= 0:
+		return fmt.Errorf("viram: TLB %d entries / %d-byte pages", c.TLBEntries, c.TLBPageBytes)
+	}
+	return c.DRAM.Validate()
+}
+
+// TraceEntry records one instruction's scheduling outcome when a tracer
+// is attached: dispatch and start cycles, executing unit, and duration.
+type TraceEntry struct {
+	Index    int
+	Op       Op
+	VL       int
+	Unit     string
+	Dispatch uint64
+	Start    uint64
+	Duration uint64
+}
+
+// Machine is one VIRAM instance. It is not safe for concurrent use.
+type Machine struct {
+	cfg    Config
+	mem    *dram.Controller
+	tlb    *tlb
+	heap   int // bump allocator for kernel address spaces (words)
+	tracer func(TraceEntry)
+}
+
+// SetTracer attaches a per-instruction trace callback (nil detaches).
+// Tracing does not perturb timing.
+func (m *Machine) SetTracer(fn func(TraceEntry)) { m.tracer = fn }
+
+// unitNames maps scoreboard units to display names for traces.
+var unitNames = [...]string{"VMU", "VALU0", "VALU1", "SCALAR"}
+
+// OpName returns a mnemonic for an opcode.
+func OpName(op Op) string {
+	names := map[Op]string{
+		VLoad: "vld", VLoadStride: "vlds", VStore: "vst", VStoreStride: "vsts",
+		VAddF: "vaddf", VMulF: "vmulf", VFMA: "vfma", VAddI: "vaddi",
+		VShift: "vsh", VPerm: "vperm", Scalar: "scalar",
+	}
+	if n, ok := names[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+// New returns a machine for cfg, panicking on invalid configuration.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{
+		cfg: cfg,
+		mem: dram.NewController(cfg.DRAM),
+		tlb: newTLB(cfg.TLBEntries, cfg.TLBPageBytes),
+	}
+}
+
+// Name implements core.Machine.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// Params implements core.Machine with the paper's Table 2 row.
+func (m *Machine) Params() core.Params {
+	return core.Params{
+		ClockMHz:    m.cfg.ClockMHz,
+		ALUs:        16, // two vector units x eight 32-bit lanes
+		PeakGFLOPS:  3.2,
+		Description: "processor-in-memory vector chip, 13 MB on-chip DRAM",
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// reset rewinds simulation state between kernel runs.
+func (m *Machine) reset() {
+	m.mem.Reset()
+	m.tlb.reset()
+	m.heap = 0
+}
+
+// alloc reserves words of the on-chip DRAM address space (word address).
+func (m *Machine) alloc(words int) int {
+	base := m.heap
+	m.heap += words
+	// Round to a DRAM row so arrays do not share open-row state.
+	row := m.cfg.DRAM.RowWords
+	m.heap = (m.heap + row - 1) / row * row
+	return base
+}
+
+// ExecResult is the timing outcome of one vector program.
+type ExecResult struct {
+	Cycles    uint64
+	Breakdown sim.Breakdown
+	Stats     sim.Stats
+}
+
+// exec runs the scoreboard over a vector program. The three functional
+// units are the memory unit and the two arithmetic units; chaining lets
+// a consumer start `startup` cycles after its producer.
+func (m *Machine) exec(prog []Inst) ExecResult {
+	const (
+		unitMem = iota
+		unitALU0
+		unitALU1
+		unitScalar
+		numUnits
+	)
+	var (
+		unitFree   [numUnits]uint64
+		chainReady = make([]uint64, m.cfg.VRegs)
+		dispatch   uint64
+		end        uint64
+		res        ExecResult
+	)
+	busy := make([]uint64, numUnits)
+	// starts holds the execution-start cycles of the last IssueQueue
+	// instructions: dispatch may run ahead of execution by at most the
+	// queue depth.
+	starts := make([]uint64, m.cfg.IssueQueue)
+
+	for i := range prog {
+		in := &prog[i]
+		if in.VL > m.cfg.MVL {
+			panic(fmt.Sprintf("viram: VL %d exceeds MVL %d", in.VL, m.cfg.MVL))
+		}
+		// Select the executing unit.
+		var unit int
+		var dur, startup uint64
+		switch in.Op {
+		case VLoad, VStore, VLoadStride, VStoreStride:
+			unit = unitMem
+			startup = uint64(m.cfg.StartupMem)
+		case VAddF, VMulF, VFMA, VPerm:
+			unit = unitALU0
+			startup = uint64(m.cfg.StartupALU)
+		case VAddI, VShift:
+			// Integer ops run on whichever ALU frees first.
+			unit = unitALU0
+			if unitFree[unitALU1] < unitFree[unitALU0] {
+				unit = unitALU1
+			}
+			startup = uint64(m.cfg.StartupALU)
+		case Scalar:
+			unit = unitScalar
+			startup = 0
+		default:
+			panic(fmt.Sprintf("viram: unknown op %d", in.Op))
+		}
+
+		// Dispatch: program order, one instruction per cycle, bounded by
+		// the queue depth (an instruction cannot dispatch until the one
+		// IssueQueue slots ahead of it has started executing).
+		if i > 0 {
+			dispatch++
+		}
+		if i >= m.cfg.IssueQueue && starts[i%m.cfg.IssueQueue] > dispatch {
+			res.Stats.Inc("stall_queue", starts[i%m.cfg.IssueQueue]-dispatch)
+			dispatch = starts[i%m.cfg.IssueQueue]
+		}
+		// Execution start: unit availability and chaining.
+		t := dispatch
+		tUnit := t
+		if unitFree[unit] > tUnit {
+			tUnit = unitFree[unit]
+		}
+		res.Stats.Inc("stall_unit", tUnit-t)
+		tDep := tUnit
+		for _, src := range []int{in.Src1, in.Src2} {
+			if src >= 0 && chainReady[src] > tDep {
+				tDep = chainReady[src]
+			}
+		}
+		res.Stats.Inc("stall_dep", tDep-tUnit)
+		t = tDep
+		starts[i%m.cfg.IssueQueue] = t
+
+		// Duration.
+		switch in.Op {
+		case VLoad, VStore, VLoadStride, VStoreStride:
+			m.checkAddressRange(in)
+			m.mem.SyncTo(t)
+			req := dram.Request{Base: in.Base, Stride: in.Stride, Count: in.VL,
+				Write: in.Op == VStore || in.Op == VStoreStride}
+			if req.Stride == 0 {
+				req.Stride = 1
+			}
+			sr := m.mem.Stream(req)
+			dur = sr.Cycles
+			misses := m.tlb.touch(in.Base, req.Stride, in.VL)
+			penalty := misses * m.cfg.TLBMissPenalty
+			dur += penalty
+			res.Stats.Inc("tlb_misses", misses)
+			res.Stats.Inc("dram_row_misses", sr.RowMisses)
+			res.Stats.Inc("dram_conflict_stalls", sr.ConflictStalls)
+			res.Stats.Inc("mem_words", sr.Words)
+			res.Breakdown.Add("memory", dur)
+		case VAddF, VMulF, VPerm:
+			dur = sim.CeilDiv(uint64(in.VL), uint64(m.cfg.FPLanes))
+			res.Breakdown.Add("compute", dur)
+			if in.Op != VPerm {
+				res.Stats.Inc("flops", uint64(in.VL))
+			}
+		case VFMA:
+			dur = sim.CeilDiv(uint64(in.VL), uint64(m.cfg.FPLanes))
+			res.Breakdown.Add("compute", dur)
+			res.Stats.Inc("flops", 2*uint64(in.VL))
+		case VAddI, VShift:
+			dur = sim.CeilDiv(uint64(in.VL), uint64(m.cfg.Lanes))
+			res.Breakdown.Add("compute", dur)
+			res.Stats.Inc("intops", uint64(in.VL))
+		case Scalar:
+			dur = uint64(in.Cost)
+			res.Breakdown.Add("scalar", dur)
+		}
+
+		if m.tracer != nil {
+			m.tracer(TraceEntry{
+				Index: i, Op: in.Op, VL: in.VL, Unit: unitNames[unit],
+				Dispatch: dispatch, Start: t, Duration: dur,
+			})
+		}
+		unitFree[unit] = t + dur
+		busy[unit] += dur
+		if in.Dst >= 0 {
+			if in.Dst >= m.cfg.VRegs {
+				panic(fmt.Sprintf("viram: register v%d out of range", in.Dst))
+			}
+			chainReady[in.Dst] = t + startup
+		}
+		if done := t + startup + dur; done > end {
+			end = done
+		}
+		res.Stats.Inc("instructions", 1)
+	}
+	res.Cycles = end
+	res.Stats.Inc("mem_unit_busy", busy[unitMem])
+	res.Stats.Inc("alu0_busy", busy[unitALU0])
+	res.Stats.Inc("alu1_busy", busy[unitALU1])
+	if slack := end - busy[unitMem]; end > busy[unitMem] {
+		res.Breakdown.Add("startup+wait", slackOrZero(slack, res.Breakdown))
+	}
+	return res
+}
+
+// checkAddressRange panics when a kernel program touches memory outside
+// what the machine allocated — the assertion that catches program-
+// generator bugs before they become silent mis-timings. Programs run
+// directly against a machine with no allocations (unit tests) skip it.
+func (m *Machine) checkAddressRange(in *Inst) {
+	if m.heap == 0 {
+		return
+	}
+	if in.Base < 0 {
+		panic(fmt.Sprintf("viram: negative address %d", in.Base))
+	}
+	stride := in.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	last := in.Base + (in.VL-1)*stride
+	hi := in.Base
+	if last > hi {
+		hi = last
+	}
+	if hi >= m.heap {
+		panic(fmt.Sprintf("viram: access at word %d beyond allocated heap %d", hi, m.heap))
+	}
+}
+
+// slackOrZero attributes the cycles not covered by any accounted busy
+// category to startup/wait, clamping at zero.
+func slackOrZero(slack uint64, b sim.Breakdown) uint64 {
+	accounted := b.Get("compute") + b.Get("scalar")
+	if accounted >= slack {
+		return 0
+	}
+	return slack - accounted
+}
+
+// tlb is a small fully-associative LRU translation buffer.
+type tlb struct {
+	entries   int
+	pageWords int
+	pages     map[int]uint64
+	tick      uint64
+}
+
+func newTLB(entries, pageBytes int) *tlb {
+	return &tlb{entries: entries, pageWords: pageBytes / 4, pages: make(map[int]uint64)}
+}
+
+func (t *tlb) reset() {
+	t.pages = make(map[int]uint64)
+	t.tick = 0
+}
+
+// touch visits the pages of a strided access and returns the miss count.
+func (t *tlb) touch(base, stride, count int) uint64 {
+	var misses uint64
+	last := -1
+	for i := 0; i < count; i++ {
+		page := (base + i*stride) / t.pageWords
+		if page == last {
+			continue
+		}
+		last = page
+		t.tick++
+		if _, ok := t.pages[page]; ok {
+			t.pages[page] = t.tick
+			continue
+		}
+		misses++
+		if len(t.pages) >= t.entries {
+			// Evict the least recently used page.
+			var victim int
+			var oldest uint64 = ^uint64(0)
+			for p, when := range t.pages {
+				if when < oldest {
+					oldest = when
+					victim = p
+				}
+			}
+			delete(t.pages, victim)
+		}
+		t.pages[page] = t.tick
+	}
+	return misses
+}

@@ -1,0 +1,299 @@
+package viram
+
+import (
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+)
+
+var _ core.Machine = (*Machine)(nil)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Lanes = 0 },
+		func(c *Config) { c.FPLanes = 0 },
+		func(c *Config) { c.FPLanes = c.Lanes + 1 },
+		func(c *Config) { c.MVL = 0 },
+		func(c *Config) { c.StartupALU = -1 },
+		func(c *Config) { c.TLBEntries = 0 },
+		func(c *Config) { c.DRAM.Banks = 0 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestExecChainingSerializesDependents(t *testing.T) {
+	m := New(DefaultConfig())
+	// A short dependent integer chain: with VL=8 each op occupies its ALU
+	// for a single cycle, so chain startup dominates. Independent ops
+	// spread over both integer ALUs; dependent ones wait for chaining.
+	var indep, dep []Inst
+	for i := 0; i < 8; i++ {
+		indep = append(indep, Inst{Op: VAddI, VL: 8, Dst: i + 1, Src1: -1, Src2: -1})
+		dep = append(dep, Inst{Op: VAddI, VL: 8, Dst: i + 1, Src1: i, Src2: -1})
+	}
+	rIndep := m.exec(indep)
+	rDep := m.exec(dep)
+	if rDep.Cycles <= rIndep.Cycles {
+		t.Fatalf("dependent chain (%d) not slower than independent ops (%d)",
+			rDep.Cycles, rIndep.Cycles)
+	}
+	// The gap must be roughly one startup per dependence edge.
+	if rDep.Cycles < rIndep.Cycles+7*uint64(m.cfg.StartupALU)/2 {
+		t.Fatalf("chain gap too small: dep %d vs indep %d", rDep.Cycles, rIndep.Cycles)
+	}
+}
+
+func TestExecLoadToUseChaining(t *testing.T) {
+	m := New(DefaultConfig())
+	load := Inst{Op: VLoad, VL: 64, Base: 0, Stride: 1, Dst: 1, Src1: -1, Src2: -1}
+	useDep := Inst{Op: VAddF, VL: 64, Dst: 2, Src1: 1, Src2: -1}
+	useIndep := Inst{Op: VAddF, VL: 64, Dst: 2, Src1: -1, Src2: -1}
+	rDep := m.exec([]Inst{load, useDep})
+	m.reset()
+	rIndep := m.exec([]Inst{load, useIndep})
+	if rDep.Cycles <= rIndep.Cycles {
+		t.Fatalf("load-to-use chain (%d) not slower than independent (%d)",
+			rDep.Cycles, rIndep.Cycles)
+	}
+}
+
+func TestExecIntOpsUseBothALUs(t *testing.T) {
+	m := New(DefaultConfig())
+	vl := 64
+	var fp, in []Inst
+	for i := 0; i < 16; i++ {
+		fp = append(fp, Inst{Op: VAddF, VL: vl, Dst: 1, Src1: -1, Src2: -1})
+		in = append(in, Inst{Op: VAddI, VL: vl, Dst: 1, Src1: -1, Src2: -1})
+	}
+	rf := m.exec(fp)
+	ri := m.exec(in)
+	// Integer ops spread over both ALUs while FP is confined to ALU0, so
+	// the integer stream must run close to twice as fast.
+	if ri.Cycles*3 > rf.Cycles*2 || ri.Cycles >= rf.Cycles {
+		t.Fatalf("int/FP stream ratio off: int %d vs fp %d, want ~2x faster", ri.Cycles, rf.Cycles)
+	}
+}
+
+func TestExecVLExceedsMVLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VL > MVL did not panic")
+		}
+	}()
+	m := New(DefaultConfig())
+	m.exec([]Inst{{Op: VAddF, VL: 65, Dst: 0, Src1: -1, Src2: -1}})
+}
+
+func TestExecRegisterRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range register did not panic")
+		}
+	}()
+	m := New(DefaultConfig())
+	m.exec([]Inst{{Op: VAddF, VL: 8, Dst: 40, Src1: -1, Src2: -1}})
+}
+
+func TestTLBMissesOnLargeWalk(t *testing.T) {
+	tl := newTLB(4, 8<<10) // 4 entries, 8 KB pages = 2K words
+	// First walk: 8 distinct pages, all miss.
+	if got := tl.touch(0, 2048, 8); got != 8 {
+		t.Fatalf("cold walk misses = %d, want 8", got)
+	}
+	// Immediate rewalk of the last 4 pages: all hit.
+	if got := tl.touch(4*2048, 2048, 4); got != 0 {
+		t.Fatalf("warm walk misses = %d, want 0", got)
+	}
+	// Unit-stride walk within one page: at most one miss.
+	tl.reset()
+	if got := tl.touch(0, 1, 64); got != 1 {
+		t.Fatalf("unit walk misses = %d, want 1", got)
+	}
+}
+
+func TestCornerTurnCycles(t *testing.T) {
+	m := New(DefaultConfig())
+	r, err := m.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Fatal("result not verified")
+	}
+	// Paper: 554k cycles. The model must land in the same regime and
+	// above the 262k-cycle peak-bandwidth bound.
+	if r.Cycles < 300_000 || r.Cycles > 900_000 {
+		t.Fatalf("corner turn cycles = %d, want ~554k (300k-900k band)", r.Cycles)
+	}
+	// Memory must dominate: this kernel measures bandwidth.
+	if f := r.Breakdown.Fraction("memory"); f < 0.5 {
+		t.Fatalf("memory fraction = %.2f, want > 0.5 (%s)", f, r.Breakdown.String())
+	}
+}
+
+func TestCornerTurnPaddingAblation(t *testing.T) {
+	// Without row padding the strided walk hammers a few DRAM banks; the
+	// paper adds padding precisely to avoid this.
+	cfg := DefaultConfig()
+	cfg.PadWords = 0
+	unpadded := New(cfg)
+	padded := New(DefaultConfig())
+	ru, err := unpadded.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := padded.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Cycles <= rp.Cycles {
+		t.Fatalf("unpadded (%d) not slower than padded (%d)", ru.Cycles, rp.Cycles)
+	}
+}
+
+func TestBeamSteeringCycles(t *testing.T) {
+	m := New(DefaultConfig())
+	r, err := m.RunBeamSteering(beamsteer.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 35k cycles with a 56% memory lower bound.
+	if r.Cycles < 20_000 || r.Cycles > 60_000 {
+		t.Fatalf("beam steering cycles = %d, want ~35k (20k-60k band)", r.Cycles)
+	}
+	f := r.Breakdown.Fraction("memory")
+	if f < 0.35 || f > 0.85 {
+		t.Fatalf("memory fraction = %.2f, want ~0.56 (%s)", f, r.Breakdown.String())
+	}
+}
+
+func TestCSLCCycles(t *testing.T) {
+	m := New(DefaultConfig())
+	r, err := m.RunCSLC(cslc.PaperSpec(fft.MixedRadix42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 424k cycles.
+	if r.Cycles < 250_000 || r.Cycles > 900_000 {
+		t.Fatalf("CSLC cycles = %d, want ~424k (250k-900k band)", r.Cycles)
+	}
+	if r.OpsPerCycle() <= 1 {
+		t.Fatalf("CSLC ops/cycle = %.2f, want > 1 (vector execution)", r.OpsPerCycle())
+	}
+}
+
+func TestParamsMatchTable2(t *testing.T) {
+	p := New(DefaultConfig()).Params()
+	if p.ClockMHz != 200 || p.ALUs != 16 || p.PeakGFLOPS != 3.2 {
+		t.Fatalf("Table 2 row mismatch: %+v", p)
+	}
+}
+
+func TestAddressGeneratorAblation(t *testing.T) {
+	// More address generators -> faster strided corner turn, up to the
+	// sequential limit. This is the paper's "24% due to a limitation in
+	// strided load performance imposed by the number of address
+	// generators".
+	base := DefaultConfig()
+	fast := DefaultConfig()
+	fast.DRAM.AddrGens = 8
+	rb, err := New(base).RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := New(fast).RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Cycles >= rb.Cycles {
+		t.Fatalf("8 address generators (%d) not faster than 4 (%d)", rf.Cycles, rb.Cycles)
+	}
+}
+
+func TestTracerObservesEveryInstruction(t *testing.T) {
+	m := New(DefaultConfig())
+	var got []TraceEntry
+	m.SetTracer(func(e TraceEntry) { got = append(got, e) })
+	prog := []Inst{
+		{Op: VLoad, VL: 64, Base: 0, Stride: 1, Dst: 1, Src1: -1, Src2: -1},
+		{Op: VAddF, VL: 64, Dst: 2, Src1: 1, Src2: -1},
+		{Op: VStore, VL: 64, Base: 64, Stride: 1, Dst: -1, Src1: 2, Src2: -1},
+	}
+	m.exec(prog)
+	if len(got) != len(prog) {
+		t.Fatalf("traced %d entries, want %d", len(got), len(prog))
+	}
+	if got[0].Unit != "VMU" || got[1].Unit != "VALU0" {
+		t.Fatalf("units: %s, %s", got[0].Unit, got[1].Unit)
+	}
+	// Starts are monotone within a dependency chain.
+	if !(got[0].Start <= got[1].Start && got[1].Start <= got[2].Start) {
+		t.Fatalf("starts not monotone: %d %d %d", got[0].Start, got[1].Start, got[2].Start)
+	}
+	// Tracing must not perturb timing.
+	m2 := New(DefaultConfig())
+	r2 := m2.exec(prog)
+	m.SetTracer(nil)
+	m.reset()
+	r1 := m.exec(prog)
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("tracing changed timing: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpName(VLoad) != "vld" || OpName(VFMA) != "vfma" || OpName(Scalar) != "scalar" {
+		t.Fatal("mnemonics wrong")
+	}
+	if OpName(Op(99)) != "op99" {
+		t.Fatalf("unknown op name: %s", OpName(Op(99)))
+	}
+}
+
+func TestAddressRangeValidation(t *testing.T) {
+	m := New(DefaultConfig())
+	m.reset()
+	m.alloc(1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-heap access did not panic")
+		}
+	}()
+	m.exec([]Inst{{Op: VLoad, VL: 64, Base: 4096, Stride: 1, Dst: 0, Src1: -1, Src2: -1}})
+}
+
+func TestCornerTurnPermuteVariant(t *testing.T) {
+	// The permute formulation trades strided loads for ALU0 permutes and
+	// strided stores; it must not beat the paper's strided-load version
+	// (which is why the implementers chose strided loads), but it stays
+	// within the same regime.
+	m := New(DefaultConfig())
+	strided, err := m.RunCornerTurn(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := m.RunCornerTurnPermute(cornerturn.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.Cycles < strided.Cycles*8/10 {
+		t.Fatalf("permute variant (%d) dramatically beats strided (%d); the paper's choice would be wrong",
+			perm.Cycles, strided.Cycles)
+	}
+	if perm.Cycles > strided.Cycles*3 {
+		t.Fatalf("permute variant (%d) implausibly slow vs strided (%d)", perm.Cycles, strided.Cycles)
+	}
+}
