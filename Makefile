@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI entry point: build, vet, full test suite under the
+# race detector.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"sigkern/internal/core"
 	"sigkern/internal/kernels/matmul"
 	"sigkern/internal/machines"
 	"sigkern/internal/report"
+	"sigkern/internal/svc"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func main() {
 	configPath := flag.String("config", "", "load machine configurations from this JSON file")
 	workloadPath := flag.String("workload", "", "load the kernel workload from this JSON file")
 	saveConfig := flag.String("saveconfig", "", "write the default machine configurations to this JSON file and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	flag.Parse()
 
 	if *saveConfig != "" {
@@ -46,6 +51,7 @@ func main() {
 		return
 	}
 	ms := machines.All()
+	factory := svc.MachineFactory(machines.ByName)
 	if *configPath != "" {
 		set, err := machines.LoadConfigSet(*configPath)
 		if err != nil {
@@ -57,6 +63,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sigstudy: %v\n", err)
 			os.Exit(1)
 		}
+		factory = machines.FactoryFromConfigSet(set)
 	}
 
 	w := core.PaperWorkload()
@@ -77,15 +84,28 @@ func main() {
 	if *subbands > 0 {
 		w.CSLC.SubBands = *subbands
 	}
-	if err := run(ms, w, *table, *figure, *kernel, *csvPath, *htmlPath, *breakdowns); err != nil {
+	if err := run(ms, factory, *workers, w, *table, *figure, *kernel, *csvPath, *htmlPath, *breakdowns); err != nil {
 		fmt.Fprintf(os.Stderr, "sigstudy: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ms []core.Machine, w core.Workload, table, figure int, kernel, csvPath, htmlPath string, breakdowns bool) error {
-	fmt.Println("Running the PIM / stream / tiled processing study...")
-	sr, err := core.RunStudy(ms, w)
+func run(ms []core.Machine, factory svc.MachineFactory, workers int, w core.Workload, table, figure int, kernel, csvPath, htmlPath string, breakdowns bool) error {
+	fmt.Printf("Running the PIM / stream / tiled processing study (%d workers)...\n", workers)
+	// Fan the (machine, kernel) grid out across the service's worker
+	// pool; each job runs on a fresh machine instance, so cycle counts
+	// are identical to the serial core.RunStudy.
+	pool := svc.NewPool(svc.PoolOptions{
+		Workers:      workers,
+		JobTimeout:   time.Hour,
+		MemoCapacity: -1,
+	})
+	defer pool.Close()
+	var names []string
+	for _, m := range ms {
+		names = append(names, m.Name())
+	}
+	sr, err := svc.RunStudyParallel(context.Background(), pool, factory, names, w)
 	if err != nil {
 		return err
 	}

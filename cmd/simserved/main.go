@@ -1,0 +1,104 @@
+// Command simserved runs the simulation service as an HTTP daemon: a
+// job queue over the five machine models and three paper kernels, with
+// result memoization and an on-demand Table 3 endpoint.
+//
+// Usage:
+//
+//	simserved -addr :8080 -workers 8 -timeout 2m
+//
+// Endpoints:
+//
+//	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks
+//	GET  /v1/jobs        list jobs
+//	GET  /v1/jobs/{id}   job status and result
+//	GET  /v1/tables/3    the paper's Table 3, machine-parallel (?format=text)
+//	GET  /metrics        flat-text metrics
+//	GET  /healthz        liveness probe
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests and running simulations drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sigkern/internal/machines"
+	"sigkern/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation slots")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout")
+	memo := flag.Int("memo", 1024, "memoized results to keep (negative disables)")
+	configPath := flag.String("config", "", "load machine configurations from this JSON file")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *memo, *timeout, *drain, *configPath); err != nil {
+		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, memo int, timeout, drain time.Duration, configPath string) error {
+	opts := svc.Options{
+		Pool: svc.PoolOptions{
+			Workers:      workers,
+			JobTimeout:   timeout,
+			MemoCapacity: memo,
+		},
+	}
+	if configPath != "" {
+		set, err := machines.LoadConfigSet(configPath)
+		if err != nil {
+			return err
+		}
+		opts.Factory = machines.FactoryFromConfigSet(set)
+	}
+	service := svc.NewService(opts)
+	defer service.Close()
+
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           service.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("simserved: listening on %s (%d workers, %v job timeout)", addr, workers, timeout)
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("simserved: shutting down (draining up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}

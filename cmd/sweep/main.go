@@ -3,6 +3,9 @@
 // plot — matrix size, VIRAM address generators, Raw tile counts, Imagine
 // stream-descriptor registers, and beam-steering dwell counts.
 //
+// Sweeps execute through the simulation service's worker pool
+// (internal/svc), machine-parallel; -workers controls the fan-out.
+//
 // Usage:
 //
 //	sweep -what matrix      # corner-turn cycles vs matrix size, all machines
@@ -10,13 +13,14 @@
 //	sweep -what tiles       # Raw corner turn vs mesh size
 //	sweep -what descriptors # Imagine corner turn vs descriptor registers
 //	sweep -what dwells      # beam steering vs dwell count, all machines
+//	sweep -what fftsize     # CSLC vs sub-band FFT size, all machines
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 
 	"sigkern/internal/report"
 	"sigkern/internal/study"
@@ -24,30 +28,32 @@ import (
 
 func main() {
 	what := flag.String("what", "matrix", "sweep to run: matrix, addrgens, tiles, descriptors, dwells, fftsize")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulations to run in parallel")
 	flag.Parse()
-	if err := run(*what); err != nil {
+	if err := run(*what, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(what string) error {
+func run(what string, workers int) error {
+	sw := study.Sweeper{Concurrency: workers}
 	switch what {
 	case "matrix":
-		pts, err := study.MatrixSizes([]int{256, 512, 1024, 2048})
+		pts, err := sw.MatrixSizes([]int{256, 512, 1024, 2048})
 		if err != nil {
 			return err
 		}
 		return render("Corner-turn cycles (10^3) vs matrix size", "Matrix", pts)
 	case "addrgens":
-		pts, err := study.VIRAMAddrGens([]int{1, 2, 4, 8})
+		pts, err := sw.VIRAMAddrGens([]int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
 		return render("VIRAM corner turn vs address generators (paper: 4; the 24% strided-limit factor)",
 			"Addr gens", pts)
 	case "tiles":
-		pts, err := study.RawTiles([]int{2, 3, 4, 6, 8})
+		pts, err := sw.RawTiles([]int{2, 3, 4, 6, 8})
 		if err != nil {
 			return err
 		}
@@ -58,7 +64,7 @@ func run(what string) error {
 		fmt.Println(" issue-bound below 4x4 and port-bound above it)")
 		return nil
 	case "descriptors":
-		pts, err := study.ImagineDescriptors([]int{2, 4, 8, 16, 32})
+		pts, err := sw.ImagineDescriptors([]int{2, 4, 8, 16, 32})
 		if err != nil {
 			return err
 		}
@@ -70,13 +76,13 @@ func run(what string) error {
 		fmt.Println(" size does not bind — the measured chip's limitation was issue ordering)")
 		return nil
 	case "fftsize":
-		pts, err := study.CSLCFFTSizes([]int{32, 64, 128, 256, 512})
+		pts, err := sw.CSLCFFTSizes([]int{32, 64, 128, 256, 512})
 		if err != nil {
 			return err
 		}
 		return render("CSLC cycles (10^3) vs sub-band FFT size", "Transform", pts)
 	case "dwells":
-		pts, err := study.BeamDwells([]int{1, 2, 4, 8, 16})
+		pts, err := sw.BeamDwells([]int{1, 2, 4, 8, 16})
 		if err != nil {
 			return err
 		}
@@ -86,16 +92,14 @@ func run(what string) error {
 	}
 }
 
-// render prints sweep points as a table with one column per machine.
+// render prints sweep points as a table with one column per machine, in
+// the study's fixed machine order (paper order) so columns are stable
+// across runs and sweeps.
 func render(title, axis string, pts []study.Point) error {
 	if len(pts) == 0 {
 		return fmt.Errorf("empty sweep")
 	}
-	var names []string
-	for name := range pts[0].Cycles {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := study.MachineColumns(pts)
 	headers := append([]string{axis}, names...)
 	var rows [][]string
 	for _, p := range pts {

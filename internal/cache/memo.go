@@ -1,0 +1,103 @@
+package cache
+
+import "sync"
+
+// Memo is a bounded, concurrency-safe memoization table with LRU
+// eviction — the software analogue of the hardware caches this package
+// simulates, reused by the simulation service to avoid re-running a
+// simulation whose exact job spec has been seen before. Keys are
+// canonical strings (the service hashes job specs); values are whatever
+// the caller stores (simulation results).
+//
+// Unlike Cache, Memo is safe for concurrent use: the service's worker
+// pool probes and fills it from many goroutines.
+type Memo[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*memoEntry[V]
+	tick     uint64
+	hits     uint64
+	misses   uint64
+}
+
+type memoEntry[V any] struct {
+	value V
+	used  uint64 // LRU timestamp, same scheme as Cache lines
+}
+
+// NewMemo returns a memo table holding at most capacity entries; a
+// non-positive capacity gets a small default.
+func NewMemo[V any](capacity int) *Memo[V] {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Memo[V]{
+		capacity: capacity,
+		entries:  make(map[string]*memoEntry[V]),
+	}
+}
+
+// Get returns the memoized value for key and whether it was present,
+// updating hit/miss statistics and recency.
+func (m *Memo[V]) Get(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	if e, ok := m.entries[key]; ok {
+		e.used = m.tick
+		m.hits++
+		return e.value, true
+	}
+	m.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores value under key, evicting the least recently used entry
+// when the table is full.
+func (m *Memo[V]) Put(key string, value V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	if e, ok := m.entries[key]; ok {
+		e.value = value
+		e.used = m.tick
+		return
+	}
+	if len(m.entries) >= m.capacity {
+		var victim string
+		var oldest uint64
+		first := true
+		for k, e := range m.entries {
+			if first || e.used < oldest {
+				victim, oldest, first = k, e.used, false
+			}
+		}
+		delete(m.entries, victim)
+	}
+	m.entries[key] = &memoEntry[V]{value: value, used: m.tick}
+}
+
+// Len returns the number of memoized entries.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the table has never
+// been probed.
+func (m *Memo[V]) HitRate() float64 {
+	h, mi := m.Counters()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (m *Memo[V]) Counters() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemoGetPut(t *testing.T) {
+	m := NewMemo[int](4)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("hit on empty memo")
+	}
+	m.Put("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("got %d/%v", v, ok)
+	}
+	m.Put("a", 2) // overwrite
+	if v, _ := m.Get("a"); v != 2 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	hits, misses := m.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", hits, misses)
+	}
+	if hr := m.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}
+
+func TestMemoLRUEviction(t *testing.T) {
+	m := NewMemo[string](2)
+	m.Put("a", "A")
+	m.Put("b", "B")
+	m.Get("a") // make b the LRU entry
+	m.Put("c", "C")
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := m.Get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+}
+
+func TestMemoDefaultCapacity(t *testing.T) {
+	m := NewMemo[int](0)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if m.Len() != 64 {
+		t.Fatalf("default capacity: len = %d, want 64", m.Len())
+	}
+}
+
+// TestMemoConcurrent exercises the memo from many goroutines; under
+// -race this is the concurrency-safety check the hardware Cache type
+// explicitly does not make.
+func TestMemoConcurrent(t *testing.T) {
+	m := NewMemo[uint64](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				if v, ok := m.Get(key); ok && v != uint64(i%40) {
+					t.Errorf("key %s holds %d", key, v)
+				}
+				m.Put(key, uint64(i%40))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -176,11 +176,30 @@ type StudyResults struct {
 // RunStudy executes every kernel of the workload on every machine. A
 // failed run aborts the study; partial tables would be misleading.
 func RunStudy(machines []Machine, w Workload) (*StudyResults, error) {
-	if len(machines) == 0 {
-		return nil, errors.New("core: no machines")
-	}
 	if err := w.Validate(); err != nil {
 		return nil, err
+	}
+	results := make(map[string]map[KernelID]Result)
+	for _, m := range machines {
+		results[m.Name()] = make(map[KernelID]Result)
+		for _, k := range Kernels() {
+			r, err := Run(m, k, w)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", k, m.Name(), err)
+			}
+			results[m.Name()][k] = r
+		}
+	}
+	return NewStudyResults(machines, w, results)
+}
+
+// NewStudyResults assembles study results computed elsewhere — e.g. by
+// a concurrent runner fanning (machine, kernel) pairs across a worker
+// pool — enforcing the same completeness and functional-verification
+// invariants as RunStudy.
+func NewStudyResults(machines []Machine, w Workload, results map[string]map[KernelID]Result) (*StudyResults, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("core: no machines")
 	}
 	sr := &StudyResults{
 		Workload: w,
@@ -190,9 +209,9 @@ func RunStudy(machines []Machine, w Workload) (*StudyResults, error) {
 	for _, m := range machines {
 		sr.results[m.Name()] = make(map[KernelID]Result)
 		for _, k := range Kernels() {
-			r, err := Run(m, k, w)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s on %s: %w", k, m.Name(), err)
+			r, ok := results[m.Name()][k]
+			if !ok {
+				return nil, fmt.Errorf("core: missing result %s/%s", m.Name(), k)
 			}
 			if !r.Verified {
 				return nil, fmt.Errorf("core: %s on %s: result not functionally verified", k, m.Name())

@@ -94,6 +94,24 @@ func (c ConfigSet) Machines() ([]core.Machine, error) {
 	}, nil
 }
 
+// FactoryFromConfigSet returns a by-name machine constructor over the
+// set's configurations — the shape the simulation service's worker pool
+// wants, where every job gets a fresh (stateful) machine instance.
+func FactoryFromConfigSet(set ConfigSet) func(name string) (core.Machine, error) {
+	return func(name string) (core.Machine, error) {
+		ms, err := set.Machines()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			if m.Name() == name {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("machines: unknown machine %q", name)
+	}
+}
+
 // SaveConfigSet writes the set as indented JSON.
 func SaveConfigSet(path string, c ConfigSet) error {
 	data, err := json.MarshalIndent(c, "", "  ")

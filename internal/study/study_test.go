@@ -139,3 +139,78 @@ func TestCSLCFFTSizeCrossover(t *testing.T) {
 		t.Errorf("Imagine startup not amortized: %v", pts)
 	}
 }
+
+func TestSweeperConcurrencyMatchesSerial(t *testing.T) {
+	serial, err := Sweeper{Concurrency: 1}.BeamDwells([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweeper{Concurrency: 8}.BeamDwells([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	// Every job runs on a fresh machine instance, so concurrency must
+	// not change a single cycle count.
+	for i := range serial {
+		if serial[i].Label != parallel[i].Label {
+			t.Fatalf("point %d: label %q vs %q", i, serial[i].Label, parallel[i].Label)
+		}
+		for name, c := range serial[i].Cycles {
+			if pc := parallel[i].Cycles[name]; pc != c {
+				t.Errorf("%s @ %s: serial %d cycles, parallel %d", name, serial[i].Label, c, pc)
+			}
+		}
+	}
+}
+
+func TestSweepInvalidSpecs(t *testing.T) {
+	sw := Sweeper{Concurrency: 2}
+	tests := []struct {
+		name string
+		run  func() ([]Point, error)
+	}{
+		{"non-power-of-two FFT size", func() ([]Point, error) { return sw.CSLCFFTSizes([]int{100}) }},
+		{"FFT size below minimum", func() ([]Point, error) { return sw.CSLCFFTSizes([]int{1}) }},
+		{"zero dwells", func() ([]Point, error) { return sw.BeamDwells([]int{0}) }},
+		{"negative dwells", func() ([]Point, error) { return sw.BeamDwells([]int{-3}) }},
+		{"zero matrix edge", func() ([]Point, error) { return sw.MatrixSizes([]int{0}) }},
+		{"negative matrix edge", func() ([]Point, error) { return sw.MatrixSizes([]int{-16}) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pts, err := tc.run()
+			if err == nil {
+				t.Fatalf("want error, got %d points", len(pts))
+			}
+		})
+	}
+}
+
+func TestMachineColumnsPaperOrder(t *testing.T) {
+	pts := []Point{{
+		Label: "x",
+		Cycles: map[string]uint64{
+			"Raw": 1, "PPC": 1, "VIRAM": 1, "Imagine": 1, "AltiVec": 1,
+		},
+	}}
+	got := MachineColumns(pts)
+	want := []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"}
+	if len(got) != len(want) {
+		t.Fatalf("columns %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("columns %v, want %v", got, want)
+		}
+	}
+	// Names outside the study sort alphabetically after the paper order.
+	pts[0].Cycles["Zeta"] = 1
+	pts[0].Cycles["Alpha"] = 1
+	got = MachineColumns(pts)
+	if got[5] != "Alpha" || got[6] != "Zeta" {
+		t.Fatalf("extra columns not sorted: %v", got)
+	}
+}

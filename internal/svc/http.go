@@ -1,0 +1,142 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"sigkern/internal/report"
+)
+
+// maxBodyBytes bounds request bodies; job specs are small.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs        submit a job (JobSpec JSON); ?wait=1 blocks
+//	GET  /v1/jobs        list tracked jobs
+//	GET  /v1/jobs/{id}   one job's status and result
+//	GET  /v1/tables/3    regenerate the paper's Table 3 (?format=text)
+//	GET  /metrics        flat-text metrics
+//	GET  /healthz        liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/tables/3", s.handleTable3)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, ErrPoolClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, httpError{http.StatusBadRequest, "bad job spec: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		if job.ID == "" {
+			// Rejected before registration (bad machine, kernel, workload).
+			writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		} else {
+			writeError(w, err) // registered but not enqueued (pool closed)
+		}
+		return
+	}
+	if wantWait(r) {
+		final, werr := s.Wait(r.Context(), job.ID)
+		if werr != nil {
+			writeError(w, werr)
+			return
+		}
+		writeJSON(w, http.StatusOK, final)
+		return
+	}
+	status := http.StatusAccepted
+	if job.State.Terminal() {
+		status = http.StatusOK // cache hit: done before the response
+	}
+	writeJSON(w, status, job)
+}
+
+func wantWait(r *http.Request) bool {
+	v := strings.ToLower(r.URL.Query().Get("wait"))
+	return v == "1" || v == "true" || v == "yes"
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, httpError{http.StatusNotFound, fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleTable3(w http.ResponseWriter, r *http.Request) {
+	td, err := s.Table3(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "text") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := report.Table(w, td.Title, td.Headers, td.Rows); err != nil {
+			writeError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.Metrics().Snapshot().WriteText(w)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.pool.Workers(),
+		"time":    time.Now().UTC().Format(time.RFC3339),
+	})
+}

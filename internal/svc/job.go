@@ -1,0 +1,129 @@
+// Package svc is the simulation service layer between the machine
+// models and every front end: a typed simulation-job model, a bounded
+// worker pool with per-job timeouts and panic isolation, a result
+// memoization table keyed by a canonical hash of the job spec, and an
+// in-process metrics registry. Command simserved exposes it over HTTP;
+// cmd/sweep and cmd/sigstudy route their batch execution through the
+// same pool so sweeps run machine-parallel instead of serially.
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+// JobSpec names one simulation: a machine, a kernel, and the workload to
+// run it on. A nil Workload means the paper workload. The spec is the
+// unit of memoization: two specs with the same canonical hash are the
+// same simulation and the second is served from cache.
+type JobSpec struct {
+	Machine string        `json:"machine"`
+	Kernel  core.KernelID `json:"kernel"`
+	// Workload overrides the paper workload when present. Only the spec
+	// of the requested kernel matters for the run, but the whole
+	// workload participates in the hash so normalization stays simple.
+	Workload *core.Workload `json:"workload,omitempty"`
+}
+
+// Normalize validates the spec against the known machines and kernels
+// and fills in the paper workload, so that hashing and execution see
+// one canonical form.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	if _, err := machines.ByName(s.Machine); err != nil {
+		return JobSpec{}, err
+	}
+	valid := false
+	for _, k := range core.Kernels() {
+		if s.Kernel == k {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return JobSpec{}, fmt.Errorf("svc: unknown kernel %q (want one of %v)", s.Kernel, core.Kernels())
+	}
+	if s.Workload == nil {
+		w := core.PaperWorkload()
+		s.Workload = &w
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return s, nil
+}
+
+// Hash returns the canonical hash of the spec: SHA-256 over its JSON
+// encoding (struct fields marshal in declaration order, so the encoding
+// is deterministic). The spec should be normalized first so that an
+// explicit paper workload and an omitted one hash identically.
+func (s JobSpec) Hash() (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("svc: hashing job spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: Queued -> Running -> one of the terminal states.
+// Cache hits go straight from Queued to Done.
+const (
+	Queued  State = "queued"
+	Running State = "running"
+	Done    State = "done"
+	Failed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed }
+
+// Job is one tracked simulation request. Fields are snapshots: the
+// service hands out copies, never its internal pointer.
+type Job struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// Hash is the canonical spec hash (the memoization key).
+	Hash  string `json:"hash"`
+	State State  `json:"state"`
+	// FromCache is true when the result was served from the memo table
+	// without running the simulator.
+	FromCache bool         `json:"from_cache,omitempty"`
+	Result    *core.Result `json:"result,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Submitted time.Time    `json:"submitted"`
+	Started   time.Time    `json:"started"`
+	Finished  time.Time    `json:"finished"`
+}
+
+// Latency returns the queue-to-finish duration for terminal jobs and 0
+// otherwise.
+func (j Job) Latency() time.Duration {
+	if !j.State.Terminal() || j.Finished.IsZero() {
+		return 0
+	}
+	return j.Finished.Sub(j.Submitted)
+}
+
+// MachineFactory constructs a fresh machine instance by name. The
+// machine models are stateful and not safe for concurrent use, so every
+// job gets its own instance. The default factory is machines.ByName
+// (paper configurations).
+type MachineFactory func(name string) (core.Machine, error)
+
+// runSpec executes a normalized spec on a fresh machine from factory.
+func runSpec(factory MachineFactory, spec JobSpec) (core.Result, error) {
+	m, err := factory(spec.Machine)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Run(m, spec.Kernel, *spec.Workload)
+}

@@ -1,0 +1,189 @@
+package svc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the ring buffer behind the latency quantiles: a
+// rolling window of the most recent terminal jobs.
+const latencyWindow = 1024
+
+// Metrics is the service's in-process metrics registry: job lifecycle
+// counters, cache effectiveness, total simulated cycles served, and a
+// rolling latency window for quantiles. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu           sync.Mutex
+	queued       uint64
+	running      uint64
+	done         uint64
+	failed       uint64
+	timeouts     uint64
+	panics       uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	cyclesServed uint64
+	latencies    []time.Duration
+	next         int
+	filled       bool
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{latencies: make([]time.Duration, 0, latencyWindow)}
+}
+
+func (m *Metrics) jobQueued() {
+	m.mu.Lock()
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobStarted() {
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal transition. started is false for jobs
+// that never ran (cache hits, rejected submissions after queueing).
+func (m *Metrics) jobFinished(started, ok, timedOut, panicked bool, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if started && m.running > 0 {
+		m.running--
+	}
+	if ok {
+		m.done++
+	} else {
+		m.failed++
+	}
+	if timedOut {
+		m.timeouts++
+	}
+	if panicked {
+		m.panics++
+	}
+	if len(m.latencies) < latencyWindow {
+		m.latencies = append(m.latencies, latency)
+	} else {
+		m.latencies[m.next] = latency
+		m.filled = true
+	}
+	m.next = (m.next + 1) % latencyWindow
+}
+
+func (m *Metrics) cacheHit(cycles uint64) {
+	m.mu.Lock()
+	m.cacheHits++
+	m.cyclesServed += cycles
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cyclesRun(cycles uint64) {
+	m.mu.Lock()
+	m.cyclesServed += cycles
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every metric.
+type Snapshot struct {
+	Queued       uint64  `json:"jobs_queued"`
+	Running      uint64  `json:"jobs_running"`
+	Done         uint64  `json:"jobs_done"`
+	Failed       uint64  `json:"jobs_failed"`
+	Timeouts     uint64  `json:"jobs_timeout"`
+	Panics       uint64  `json:"jobs_panicked"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CyclesServed uint64  `json:"simulated_cycles_served"`
+	// P50 and P99 are latency quantiles over the most recent terminal
+	// jobs (a rolling window), in seconds.
+	P50Seconds float64 `json:"latency_p50_seconds"`
+	P99Seconds float64 `json:"latency_p99_seconds"`
+	Samples    int     `json:"latency_samples"`
+}
+
+// Snapshot returns a consistent copy of the registry.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Queued:       m.queued,
+		Running:      m.running,
+		Done:         m.done,
+		Failed:       m.failed,
+		Timeouts:     m.timeouts,
+		Panics:       m.panics,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+		CyclesServed: m.cyclesServed,
+	}
+	if probes := m.cacheHits + m.cacheMisses; probes > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(probes)
+	}
+	window := make([]time.Duration, len(m.latencies))
+	copy(window, m.latencies)
+	s.Samples = len(window)
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50Seconds = quantile(window, 0.50).Seconds()
+		s.P99Seconds = quantile(window, 0.99).Seconds()
+	}
+	return s
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteText renders the snapshot in the flat `name value` text format
+// of the /metrics endpoint.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := []struct {
+		name  string
+		value string
+	}{
+		{"simserved_jobs_queued_total", fmt.Sprintf("%d", s.Queued)},
+		{"simserved_jobs_running", fmt.Sprintf("%d", s.Running)},
+		{"simserved_jobs_done_total", fmt.Sprintf("%d", s.Done)},
+		{"simserved_jobs_failed_total", fmt.Sprintf("%d", s.Failed)},
+		{"simserved_jobs_timeout_total", fmt.Sprintf("%d", s.Timeouts)},
+		{"simserved_jobs_panicked_total", fmt.Sprintf("%d", s.Panics)},
+		{"simserved_cache_hits_total", fmt.Sprintf("%d", s.CacheHits)},
+		{"simserved_cache_misses_total", fmt.Sprintf("%d", s.CacheMisses)},
+		{"simserved_cache_hit_rate", fmt.Sprintf("%.4f", s.CacheHitRate)},
+		{"simserved_simulated_cycles_served_total", fmt.Sprintf("%d", s.CyclesServed)},
+		{"simserved_job_latency_p50_seconds", fmt.Sprintf("%.6f", s.P50Seconds)},
+		{"simserved_job_latency_p99_seconds", fmt.Sprintf("%.6f", s.P99Seconds)},
+		{"simserved_job_latency_samples", fmt.Sprintf("%d", s.Samples)},
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

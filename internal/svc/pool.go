@@ -1,0 +1,270 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sigkern/internal/cache"
+	"sigkern/internal/core"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("svc: pool closed")
+
+// ErrTimeout wraps per-job deadline expiries so callers can classify
+// them (errors.Is(err, ErrTimeout)).
+var ErrTimeout = errors.New("svc: job timed out")
+
+// Task is one unit of work for the pool: a label for diagnostics, an
+// optional memoization key, and the function to run. Run receives a
+// context that is cancelled on pool shutdown or per-task timeout;
+// simulator runs cannot be interrupted mid-flight, so on timeout the
+// pool abandons the task (its goroutine finishes in the background and
+// the result is discarded) and reports ErrTimeout.
+type Task struct {
+	Label string
+	// MemoKey enables result memoization when non-empty: a hit skips
+	// Run entirely, and a successful Run is stored under the key.
+	MemoKey string
+	Run     func(ctx context.Context) (core.Result, error)
+}
+
+// Future is the pending result of a submitted task.
+type Future struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+	// fromCache is true when the result came from the memo table.
+	fromCache bool
+	// started is closed when a worker picks the task up.
+	started chan struct{}
+}
+
+// Wait blocks until the task finishes or ctx is cancelled.
+func (f *Future) Wait(ctx context.Context) (core.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// FromCache reports whether the result was served from the memo table.
+// Valid only after Wait returns.
+func (f *Future) FromCache() bool { return f.fromCache }
+
+// PoolOptions configures a Pool. The zero value is usable: GOMAXPROCS
+// workers, a 2-minute per-job timeout, and a 1024-entry memo table.
+type PoolOptions struct {
+	// Workers is the number of concurrent job slots.
+	Workers int
+	// JobTimeout bounds one job's execution; <= 0 means 2 minutes.
+	JobTimeout time.Duration
+	// QueueDepth is the number of tasks that can wait for a worker
+	// before Submit blocks (backpressure); <= 0 means 256.
+	QueueDepth int
+	// MemoCapacity is the memo table size; < 0 disables memoization.
+	MemoCapacity int
+	// Metrics receives lifecycle events; nil allocates a private one.
+	Metrics *Metrics
+}
+
+// Pool is a bounded worker pool running simulation tasks with per-job
+// timeouts, panic isolation, and optional result memoization. It is
+// safe for concurrent use.
+type Pool struct {
+	opts    PoolOptions
+	tasks   chan poolItem
+	memo    *cache.Memo[core.Result]
+	metrics *Metrics
+
+	// submitMu serializes sends on tasks against Close: Submit sends
+	// while holding the read lock, so once Close holds the write lock no
+	// new task can slip into the queue behind the drain.
+	submitMu sync.RWMutex
+	closed   bool
+	wg       sync.WaitGroup
+	// cancel stops all workers' contexts on Close.
+	cancel context.CancelFunc
+	ctx    context.Context
+}
+
+type poolItem struct {
+	task Task
+	fut  *Future
+}
+
+// NewPool starts a pool with opts.Workers workers.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 2 * time.Minute
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics()
+	}
+	p := &Pool{
+		opts:    opts,
+		tasks:   make(chan poolItem, opts.QueueDepth),
+		metrics: opts.Metrics,
+	}
+	if opts.MemoCapacity >= 0 {
+		capacity := opts.MemoCapacity
+		if capacity == 0 {
+			capacity = 1024
+		}
+		p.memo = cache.NewMemo[core.Result](capacity)
+	}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Metrics returns the pool's registry.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// MemoHitRate returns the memo table's hit rate (0 when disabled).
+func (p *Pool) MemoHitRate() float64 {
+	if p.memo == nil {
+		return 0
+	}
+	return p.memo.HitRate()
+}
+
+// Submit enqueues a task and returns its future. It blocks while all
+// workers are busy and the queue is full (backpressure), and fails fast
+// once the pool is closed.
+func (p *Pool) Submit(t Task) (*Future, error) {
+	if t.Run == nil {
+		return nil, errors.New("svc: task with nil Run")
+	}
+	p.submitMu.RLock()
+	defer p.submitMu.RUnlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	fut := &Future{done: make(chan struct{}), started: make(chan struct{})}
+	p.metrics.jobQueued()
+
+	// Serve memo hits synchronously: no worker slot, no queueing delay.
+	if p.memo != nil && t.MemoKey != "" {
+		if r, ok := p.memo.Get(t.MemoKey); ok {
+			p.metrics.cacheHit(r.Cycles)
+			p.metrics.jobFinished(false, true, false, false, 0)
+			fut.res, fut.fromCache = r, true
+			close(fut.started)
+			close(fut.done)
+			return fut, nil
+		}
+		p.metrics.cacheMiss()
+	}
+
+	// May block when the queue is full (backpressure); workers keep
+	// draining because Close cannot cancel them until this send's read
+	// lock is released.
+	p.tasks <- poolItem{task: t, fut: fut}
+	return fut, nil
+}
+
+// Close stops accepting tasks, waits for running workers to finish
+// their current job, and fails the futures of tasks still queued.
+func (p *Pool) Close() {
+	p.submitMu.Lock()
+	if p.closed {
+		p.submitMu.Unlock()
+		return
+	}
+	p.closed = true
+	p.submitMu.Unlock()
+	p.cancel()
+	p.wg.Wait()
+	for {
+		select {
+		case item := <-p.tasks:
+			item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
+			p.metrics.jobFinished(false, false, false, false, 0)
+			close(item.fut.started)
+			close(item.fut.done)
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case item := <-p.tasks:
+			p.execute(item)
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// execute runs one task with timeout and panic isolation.
+func (p *Pool) execute(item poolItem) {
+	start := time.Now()
+	close(item.fut.started)
+	p.metrics.jobStarted()
+
+	ctx, cancel := context.WithTimeout(p.ctx, p.opts.JobTimeout)
+	defer cancel()
+
+	type outcome struct {
+		res      core.Result
+		err      error
+		panicked bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("svc: job %q panicked: %v", item.task.Label, r), panicked: true}
+			}
+		}()
+		res, err := item.task.Run(ctx)
+		ch <- outcome{res: res, err: err}
+	}()
+
+	var out outcome
+	timedOut := false
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		// The simulator cannot be interrupted; abandon it. Its goroutine
+		// finishes in the background and the buffered channel lets it exit.
+		timedOut = errors.Is(ctx.Err(), context.DeadlineExceeded)
+		out = outcome{err: fmt.Errorf("svc: job %q: %w", item.task.Label, ErrTimeout)}
+		if !timedOut {
+			out.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ctx.Err())
+		}
+	}
+
+	if out.err == nil {
+		if p.memo != nil && item.task.MemoKey != "" {
+			p.memo.Put(item.task.MemoKey, out.res)
+		}
+		p.metrics.cyclesRun(out.res.Cycles)
+	}
+	p.metrics.jobFinished(true, out.err == nil, timedOut, out.panicked, time.Since(start))
+	item.fut.res, item.fut.err = out.res, out.err
+	close(item.fut.done)
+}

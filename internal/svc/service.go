@@ -1,0 +1,332 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+// Options configures a Service. The zero value is usable.
+type Options struct {
+	Pool PoolOptions
+	// Factory builds fresh machine instances per job; nil means
+	// machines.ByName (the paper configurations).
+	Factory MachineFactory
+	// MaxJobs bounds the job registry; once exceeded the oldest
+	// terminal jobs are evicted. <= 0 means 4096.
+	MaxJobs int
+}
+
+// Service is the simulation job-queue service: it tracks submitted jobs
+// by ID, runs them on the pool, and answers status queries. It is safe
+// for concurrent use.
+type Service struct {
+	pool    *Pool
+	factory MachineFactory
+	maxJobs int
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for eviction and listing
+	seq   uint64
+}
+
+// NewService starts a service and its pool.
+func NewService(opts Options) *Service {
+	if opts.Factory == nil {
+		opts.Factory = machines.ByName
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	return &Service{
+		pool:    NewPool(opts.Pool),
+		factory: opts.Factory,
+		maxJobs: opts.MaxJobs,
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Pool returns the service's worker pool.
+func (s *Service) Pool() *Pool { return s.pool }
+
+// Metrics returns the service's registry.
+func (s *Service) Metrics() *Metrics { return s.pool.Metrics() }
+
+// Close shuts the pool down after draining running jobs.
+func (s *Service) Close() { s.pool.Close() }
+
+// Submit normalizes, registers, and enqueues one job, returning a
+// snapshot of its initial state. Cache hits come back already Done.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return Job{}, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j%06d-%s", s.seq, hash[:8]),
+		Spec:      norm,
+		Hash:      hash,
+		State:     Queued,
+		Submitted: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	fut, err := s.pool.Submit(Task{
+		Label:   fmt.Sprintf("%s/%s", norm.Machine, norm.Kernel),
+		MemoKey: hash,
+		Run: func(context.Context) (core.Result, error) {
+			s.markRunning(job.ID)
+			return runSpec(s.factory, norm)
+		},
+	})
+	if err != nil {
+		s.finish(job.ID, core.Result{}, false, err)
+		return s.snapshot(job.ID), err
+	}
+	go func() {
+		res, err := fut.Wait(context.Background())
+		s.finish(job.ID, res, fut.FromCache(), err)
+	}()
+	return s.snapshot(job.ID), nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Service) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every tracked job in submission order.
+func (s *Service) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, and
+// returns the final snapshot.
+func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
+	// Poll-free would need a per-job channel; jobs are seconds-long, so
+	// a short poll keeps the registry simple.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		j, ok := s.Job(id)
+		if !ok {
+			return Job{}, fmt.Errorf("svc: unknown job %q", id)
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Service) markRunning(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.State == Queued {
+		j.State = Running
+		j.Started = time.Now()
+	}
+}
+
+func (s *Service) finish(id string, res core.Result, fromCache bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.State.Terminal() {
+		return
+	}
+	j.Finished = time.Now()
+	j.FromCache = fromCache
+	if err != nil {
+		j.State = Failed
+		j.Error = err.Error()
+		return
+	}
+	j.State = Done
+	r := res
+	j.Result = &r
+}
+
+func (s *Service) snapshot(id string) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return *j
+	}
+	return Job{}
+}
+
+// evictLocked drops the oldest terminal jobs once the registry exceeds
+// MaxJobs. Non-terminal jobs are never evicted.
+func (s *Service) evictLocked() {
+	if len(s.order) <= s.maxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxJobs
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.State.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Table3 regenerates the paper's Table 3 by fanning every (machine,
+// kernel) pair of the paper workload out across the pool. Rows are in
+// the paper's machine order, columns in kernel order; cycle counts are
+// identical to a serial core.RunStudy (and so to `sigstudy -csv`, the
+// input of cmd/compare).
+func (s *Service) Table3(ctx context.Context) (*TableData, error) {
+	sr, err := RunStudyParallel(ctx, s.pool, s.factory, machineNames(), core.PaperWorkload())
+	if err != nil {
+		return nil, err
+	}
+	return table3Data(sr), nil
+}
+
+// TableData is a rendered table plus the raw cycle counts behind it.
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	// Cycles maps machine -> kernel -> simulated cycles.
+	Cycles map[string]map[core.KernelID]uint64 `json:"cycles"`
+}
+
+func table3Data(sr *core.StudyResults) *TableData {
+	td := &TableData{
+		Title:   "Table 3. Experimental results (cycles in 10^3)",
+		Headers: []string{"Machine"},
+		Cycles:  make(map[string]map[core.KernelID]uint64),
+	}
+	for _, k := range core.Kernels() {
+		td.Headers = append(td.Headers, k.Title())
+	}
+	for _, name := range sr.MachineNames() {
+		row := []string{name}
+		td.Cycles[name] = make(map[core.KernelID]uint64)
+		for _, k := range core.Kernels() {
+			r, ok := sr.Result(name, k)
+			if !ok {
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f", r.KCycles()))
+			td.Cycles[name][k] = r.Cycles
+		}
+		td.Rows = append(td.Rows, row)
+	}
+	return td
+}
+
+// machineNames returns the five study machines in paper order.
+func machineNames() []string {
+	var names []string
+	for _, m := range machines.All() {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+// RunStudyParallel executes every (machine, kernel) pair of the
+// workload through the pool — the concurrent counterpart of
+// core.RunStudy. Each job runs on a fresh machine instance from
+// factory, so results are bit-identical to the serial study.
+func RunStudyParallel(ctx context.Context, p *Pool, factory MachineFactory, names []string, w core.Workload) (*core.StudyResults, error) {
+	if factory == nil {
+		factory = machines.ByName
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Metadata instances: used only for Name/Params, never run.
+	ms := make([]core.Machine, len(names))
+	for i, name := range names {
+		m, err := factory(name)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+
+	type cell struct {
+		machine string
+		kernel  core.KernelID
+		fut     *Future
+	}
+	var cells []cell
+	for _, name := range names {
+		for _, k := range core.Kernels() {
+			name, k := name, k
+			spec := JobSpec{Machine: name, Kernel: k, Workload: &w}
+			// Memoize under the spec hash. The hash does not cover the
+			// factory's machine configurations, so memoization assumes
+			// one factory per pool — which Service and the CLI drivers
+			// guarantee by construction.
+			key := ""
+			if h, err := spec.Hash(); err == nil {
+				key = h
+			}
+			fut, err := p.Submit(Task{
+				Label:   fmt.Sprintf("%s/%s", name, k),
+				MemoKey: key,
+				Run: func(context.Context) (core.Result, error) {
+					return runSpec(factory, spec)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{machine: name, kernel: k, fut: fut})
+		}
+	}
+	results := make(map[string]map[core.KernelID]core.Result)
+	for _, c := range cells {
+		r, err := c.fut.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("svc: %s on %s: %w", c.kernel, c.machine, err)
+		}
+		if results[c.machine] == nil {
+			results[c.machine] = make(map[core.KernelID]core.Result)
+		}
+		results[c.machine][c.kernel] = r
+	}
+	return core.NewStudyResults(ms, w, results)
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repository's verification gate, run by `make check` and
+# CI: compile everything, vet, then the full test suite under the race
+# detector (the service worker pool is exercised concurrently).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
