@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check chaos bench clean
 
 all: check
 
@@ -20,6 +20,17 @@ race:
 # race detector.
 check:
 	./scripts/check.sh
+
+# chaos re-runs the suite with fault injection armed at a fixed seed:
+# transient errors plus latency spikes at every execution attempt and
+# occasional machine-factory failures. Everything must still pass —
+# retries absorb the faults and the determinism guard keeps the numbers
+# honest. (10% keeps a whole job's 5-attempt failure at ~1e-5; the 20%
+# acceptance rate is exercised by TestChaosStudyBitIdentical, which
+# arms its own registry with a deeper attempt budget.)
+chaos:
+	SIGKERN_FAULTS='pool.execute:transient:0.1,pool.execute:latency:0.05:2ms,machines.factory:transient:0.05' \
+	SIGKERN_FAULTS_SEED=42 $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

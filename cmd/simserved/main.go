@@ -8,12 +8,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks
+//	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks,
+//	                     ?timeout=30s bounds the wait
 //	GET  /v1/jobs        list jobs
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /v1/tables/3    the paper's Table 3, machine-parallel (?format=text)
 //	GET  /metrics        flat-text metrics
-//	GET  /healthz        liveness probe
+//	GET  /healthz        queue depth, breaker states, degraded flag
+//
+// Admission control: the job queue is bounded (-queue); once it fills,
+// submissions are shed with 429 and a Retry-After estimate instead of
+// queueing unboundedly. Per-machine circuit breakers answer 503 while a
+// backend is tripping. Transient failures (including injected chaos
+// faults, see SIGKERN_FAULTS in internal/faults) are retried with
+// backoff, and every result served is checked against the memoized
+// cycle count for its spec hash — a determinism violation is a hard
+// error, never a silently wrong number.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests and running simulations drain before exit.
@@ -32,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"sigkern/internal/faults"
 	"sigkern/internal/machines"
 	"sigkern/internal/svc"
 )
@@ -41,22 +52,24 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation slots")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout")
 	memo := flag.Int("memo", 1024, "memoized results to keep (negative disables)")
+	queue := flag.Int("queue", 256, "queued jobs before admissions are shed with 429")
 	configPath := flag.String("config", "", "load machine configurations from this JSON file")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *memo, *timeout, *drain, *configPath); err != nil {
+	if err := run(*addr, *workers, *memo, *queue, *timeout, *drain, *configPath); err != nil {
 		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, memo int, timeout, drain time.Duration, configPath string) error {
+func run(addr string, workers, memo, queue int, timeout, drain time.Duration, configPath string) error {
 	opts := svc.Options{
 		Pool: svc.PoolOptions{
 			Workers:      workers,
 			JobTimeout:   timeout,
 			MemoCapacity: memo,
+			QueueDepth:   queue,
 		},
 	}
 	if configPath != "" {
@@ -78,9 +91,14 @@ func run(addr string, workers, memo int, timeout, drain time.Duration, configPat
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if reg := service.Pool().Faults(); reg != nil {
+		log.Printf("simserved: CHAOS ON — %d armed fault(s) from $%s", len(reg.Armed()), faults.EnvSpec)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("simserved: listening on %s (%d workers, %v job timeout)", addr, workers, timeout)
+		log.Printf("simserved: listening on %s (%d workers, %v job timeout, %d-deep admission queue)",
+			addr, workers, timeout, queue)
 		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return

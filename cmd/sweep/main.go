@@ -14,14 +14,23 @@
 //	sweep -what descriptors # Imagine corner turn vs descriptor registers
 //	sweep -what dwells      # beam steering vs dwell count, all machines
 //	sweep -what fftsize     # CSLC vs sub-band FFT size, all machines
+//
+// Crash safety: with -checkpoint FILE every completed (point, machine)
+// cell is saved to FILE (atomic temp+rename JSON) as the sweep runs.
+// After a crash or kill, rerunning with -resume loads the file and
+// skips the verified-complete cells, re-simulating only what is
+// missing; the rendered table is identical to an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"runtime"
 
+	"sigkern/internal/core"
 	"sigkern/internal/report"
 	"sigkern/internal/study"
 )
@@ -29,15 +38,34 @@ import (
 func main() {
 	what := flag.String("what", "matrix", "sweep to run: matrix, addrgens, tiles, descriptors, dwells, fftsize")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulations to run in parallel")
+	checkpoint := flag.String("checkpoint", "", "save completed cells to this JSON file as the sweep runs")
+	resume := flag.Bool("resume", false, "skip cells already verified-complete in the -checkpoint file")
 	flag.Parse()
-	if err := run(*what, *workers); err != nil {
+	if err := run(*what, *workers, *checkpoint, *resume); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(what string, workers int) error {
+func run(what string, workers int, checkpoint string, resume bool) error {
 	sw := study.Sweeper{Concurrency: workers}
+	if resume && checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if checkpoint != "" {
+		cp, err := loadOrNewCheckpoint(what, checkpoint, resume)
+		if err != nil {
+			return err
+		}
+		sw.Completed = cp
+		sw.OnCell = func(label, machine string, r core.Result) {
+			cp.Add(label, machine, r)
+			if err := cp.Save(checkpoint); err != nil {
+				// A failed save only costs resumability, not results.
+				fmt.Fprintf(os.Stderr, "sweep: checkpoint save: %v\n", err)
+			}
+		}
+	}
 	switch what {
 	case "matrix":
 		pts, err := sw.MatrixSizes([]int{256, 512, 1024, 2048})
@@ -90,6 +118,26 @@ func run(what string, workers int) error {
 	default:
 		return fmt.Errorf("unknown sweep %q", what)
 	}
+}
+
+// loadOrNewCheckpoint resumes from path when asked (a missing file just
+// starts fresh), refusing a checkpoint recorded for a different sweep.
+func loadOrNewCheckpoint(what, path string, resume bool) (*study.Checkpoint, error) {
+	if resume {
+		cp, err := study.LoadCheckpoint(path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing recorded yet; fall through to a fresh checkpoint.
+		case err != nil:
+			return nil, err
+		case cp.Sweep() != what:
+			return nil, fmt.Errorf("checkpoint %s records sweep %q, not %q", path, cp.Sweep(), what)
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: resuming, %d cell(s) already complete\n", cp.Len())
+			return cp, nil
+		}
+	}
+	return study.NewCheckpoint(what), nil
 }
 
 // render prints sweep points as a table with one column per machine, in

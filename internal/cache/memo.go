@@ -18,6 +18,10 @@ type Memo[V any] struct {
 	tick     uint64
 	hits     uint64
 	misses   uint64
+	// corrupt, when set, may damage values on the Get path — the
+	// fault-injection hook chaos runs use to prove the service's
+	// determinism guard catches a lying cache. See SetCorruptor.
+	corrupt func(key string, value V) (V, bool)
 }
 
 type memoEntry[V any] struct {
@@ -38,7 +42,9 @@ func NewMemo[V any](capacity int) *Memo[V] {
 }
 
 // Get returns the memoized value for key and whether it was present,
-// updating hit/miss statistics and recency.
+// updating hit/miss statistics and recency. When a corruptor is
+// installed (fault injection), the returned value may be damaged; the
+// stored entry is never modified, so Peek still sees the truth.
 func (m *Memo[V]) Get(key string) (V, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -46,11 +52,39 @@ func (m *Memo[V]) Get(key string) (V, bool) {
 	if e, ok := m.entries[key]; ok {
 		e.used = m.tick
 		m.hits++
+		if m.corrupt != nil {
+			if v, corrupted := m.corrupt(key, e.value); corrupted {
+				return v, true
+			}
+		}
 		return e.value, true
 	}
 	m.misses++
 	var zero V
 	return zero, false
+}
+
+// Peek returns the stored value for key without touching statistics,
+// recency, or the corruption hook — the read the service's determinism
+// guard compares served results against.
+func (m *Memo[V]) Peek(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key]; ok {
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// SetCorruptor installs (or, with nil, removes) a fault-injection hook
+// consulted on every Get: when it reports true, its return value is
+// served in place of the stored one. Production code never installs
+// one; chaos runs use it to model a corrupted cache line.
+func (m *Memo[V]) SetCorruptor(f func(key string, value V) (V, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.corrupt = f
 }
 
 // Put stores value under key, evicting the least recently used entry

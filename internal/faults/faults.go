@@ -1,0 +1,354 @@
+// Package faults is a deterministic, seedable fault-injection registry
+// for chaos testing the simulation service. Code under test declares
+// named fault points ("pool.execute", "memo.get", "machines.factory")
+// and calls Fire at each; the registry decides — from a seeded PRNG
+// stream per armed fault, so runs are reproducible — whether to inject
+// a transient error, a latency spike, a panic, or a memo corruption.
+//
+// A nil *Registry is valid and injects nothing, so production paths pay
+// one nil check when chaos is off. The process-wide Default registry is
+// armed from the SIGKERN_FAULTS / SIGKERN_FAULTS_SEED environment
+// variables (see ParseSpec), which is how `make chaos` runs the whole
+// test suite under a fixed fault seed.
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sigkern/internal/sim"
+)
+
+// Kind names a class of injected fault.
+type Kind string
+
+// The fault kinds. Transient yields an error that the resilience layer
+// classifies as retryable; Latency sleeps; Panic panics in the caller;
+// Corrupt asks the caller to corrupt the value it was about to return
+// (the memo read path uses it to serve a damaged result, which the
+// service's determinism guard must catch).
+const (
+	Transient Kind = "transient"
+	Latency   Kind = "latency"
+	Panic     Kind = "panic"
+	Corrupt   Kind = "corrupt"
+)
+
+// valid reports whether k is a known kind.
+func (k Kind) valid() bool {
+	switch k {
+	case Transient, Latency, Panic, Corrupt:
+		return true
+	}
+	return false
+}
+
+// Fault arms one failure mode at one point.
+type Fault struct {
+	// Point is the fault-point name the caller fires.
+	Point string
+	// Kind selects the failure mode.
+	Kind Kind
+	// Probability is the per-call firing chance in [0, 1].
+	Probability float64
+	// Limit caps the number of firings; 0 means unlimited. A capped
+	// fault lets chaos runs bound their worst case (e.g. "at most 200
+	// injected errors over the suite").
+	Limit uint64
+	// Delay is the injected latency for Latency faults; <= 0 means 1ms.
+	Delay time.Duration
+}
+
+// validate checks the fault's fields.
+func (f Fault) validate() error {
+	if f.Point == "" {
+		return fmt.Errorf("faults: fault with empty point")
+	}
+	if !f.Kind.valid() {
+		return fmt.Errorf("faults: unknown kind %q at %q", f.Kind, f.Point)
+	}
+	if f.Probability < 0 || f.Probability > 1 {
+		return fmt.Errorf("faults: probability %v at %q out of [0,1]", f.Probability, f.Point)
+	}
+	return nil
+}
+
+// armed is one registered fault plus its private PRNG stream and firing
+// counters. Each armed fault draws from its own generator — seeded from
+// the registry seed and the (point, kind) name — so one point's draw
+// sequence does not depend on what else is armed or fired.
+type armed struct {
+	fault Fault
+	rng   *sim.PRNG
+	calls uint64
+	fired uint64
+}
+
+// Registry holds armed faults and serves Fire calls. It is safe for
+// concurrent use; a nil Registry never fires.
+type Registry struct {
+	mu     sync.Mutex
+	seed   uint64
+	points map[string][]*armed
+}
+
+// New returns an empty registry whose PRNG streams derive from seed.
+func New(seed uint64) *Registry {
+	return &Registry{seed: seed, points: make(map[string][]*armed)}
+}
+
+// Arm registers a fault. Multiple faults may share a point; every armed
+// fault is evaluated on each Fire.
+func (r *Registry) Arm(f Fault) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	if f.Kind == Latency && f.Delay <= 0 {
+		f.Delay = time.Millisecond
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points[f.Point] = append(r.points[f.Point], &armed{
+		fault: f,
+		rng:   sim.NewPRNG(r.seed ^ nameHash(f.Point+"/"+string(f.Kind))),
+	})
+	return nil
+}
+
+// nameHash is FNV-1a over s, used to give each armed fault an
+// independent deterministic stream.
+func nameHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Injection is the outcome of one Fire call: the set of faults that
+// triggered. Delay accumulates across triggered latency faults; at most
+// one of Err / Panicked / Corrupted is meaningful per fire (evaluated
+// in that priority order by the caller).
+type Injection struct {
+	// Delay is injected latency the caller should sleep before acting.
+	Delay time.Duration
+	// Err is a transient error to return in place of the real work.
+	Err error
+	// Panicked asks the caller to panic (exercising panic isolation).
+	Panicked bool
+	// Corrupted asks the caller to damage the value it returns.
+	Corrupted bool
+}
+
+// injectedError is the transient error type produced by Transient
+// faults. It implements the Transient() classification interface that
+// internal/resilience recognizes, without either package importing the
+// other.
+type injectedError struct{ point string }
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faults: injected transient error at %q", e.point)
+}
+
+// Transient marks the error retryable for resilience.IsTransient.
+func (e *injectedError) Transient() bool { return true }
+
+// Fire evaluates every fault armed at point and reports what, if
+// anything, triggered. It returns nil when nothing fired (including on
+// a nil registry or unknown point), so hot paths stay cheap.
+func (r *Registry) Fire(point string) *Injection {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.points[point]
+	if len(list) == 0 {
+		return nil
+	}
+	var inj *Injection
+	for _, a := range list {
+		a.calls++
+		if a.fault.Limit > 0 && a.fired >= a.fault.Limit {
+			continue
+		}
+		if a.rng.Float64() >= a.fault.Probability {
+			continue
+		}
+		a.fired++
+		if inj == nil {
+			inj = &Injection{}
+		}
+		switch a.fault.Kind {
+		case Latency:
+			inj.Delay += a.fault.Delay
+		case Transient:
+			if inj.Err == nil {
+				inj.Err = &injectedError{point: point}
+			}
+		case Panic:
+			inj.Panicked = true
+		case Corrupt:
+			inj.Corrupted = true
+		}
+	}
+	return inj
+}
+
+// Sleep blocks for the injection's delay (if any), returning early when
+// done is closed/cancelled. It is nil-safe.
+func (i *Injection) Sleep(done <-chan struct{}) {
+	if i == nil || i.Delay <= 0 {
+		return
+	}
+	t := time.NewTimer(i.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// Counter reports (calls, fired) for the fault armed at (point, kind);
+// zero for unknown pairs or a nil registry.
+func (r *Registry) Counter(point string, kind Kind) (calls, fired uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.points[point] {
+		if a.fault.Kind == kind {
+			calls += a.calls
+			fired += a.fired
+		}
+	}
+	return calls, fired
+}
+
+// Snapshot returns "point/kind" -> fired counts for every armed fault,
+// in sorted key order — the shape /healthz and tests want.
+func (r *Registry) Snapshot() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64)
+	for point, list := range r.points {
+		for _, a := range list {
+			out[point+"/"+string(a.fault.Kind)] += a.fired
+		}
+	}
+	return out
+}
+
+// Armed returns the registered faults in (point, kind) order.
+func (r *Registry) Armed() []Fault {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Fault
+	for _, list := range r.points {
+		for _, a := range list {
+			out = append(out, a.fault)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// ParseSpec parses a comma-separated fault list into a registry:
+//
+//	point:kind:probability[:param[:param]]
+//
+// where kind is transient|latency|panic|corrupt, probability is in
+// [0,1], and each optional param is either a duration (the latency
+// delay, e.g. "2ms") or an integer (the firing limit). Example:
+//
+//	pool.execute:transient:0.2:200,pool.execute:latency:0.1:2ms
+//
+// An empty spec returns a nil registry (chaos off).
+func ParseSpec(spec string, seed uint64) (*Registry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	r := New(seed)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		fields := strings.Split(entry, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("faults: entry %q: want point:kind:probability", entry)
+		}
+		prob, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: entry %q: bad probability: %w", entry, err)
+		}
+		f := Fault{Point: fields[0], Kind: Kind(fields[1]), Probability: prob}
+		for _, param := range fields[3:] {
+			if d, derr := time.ParseDuration(param); derr == nil {
+				f.Delay = d
+			} else if n, nerr := strconv.ParseUint(param, 10, 64); nerr == nil {
+				f.Limit = n
+			} else {
+				return nil, fmt.Errorf("faults: entry %q: param %q is neither duration nor count", entry, param)
+			}
+		}
+		if err := r.Arm(f); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Environment variables arming the Default registry.
+const (
+	EnvSpec = "SIGKERN_FAULTS"
+	EnvSeed = "SIGKERN_FAULTS_SEED"
+)
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry armed from SIGKERN_FAULTS
+// (ParseSpec grammar) with seed SIGKERN_FAULTS_SEED (default 1). It is
+// nil — chaos off — when the spec variable is unset or empty; a
+// malformed spec is reported once on stderr and treated as unset, so a
+// typo in a chaos run cannot silently disable a production binary.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		spec := os.Getenv(EnvSpec)
+		var seed uint64 = 1
+		if s := os.Getenv(EnvSeed); s != "" {
+			if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+				seed = n
+			}
+		}
+		reg, err := ParseSpec(spec, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: ignoring %s: %v\n", EnvSpec, err)
+			return
+		}
+		defaultReg = reg
+	})
+	return defaultReg
+}

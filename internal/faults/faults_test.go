@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// fireSeq records which of n Fire calls at point trigger.
+func fireSeq(r *Registry, point string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Fire(point) != nil
+	}
+	return out
+}
+
+func TestNilRegistryNeverFires(t *testing.T) {
+	var r *Registry
+	if inj := r.Fire("pool.execute"); inj != nil {
+		t.Fatalf("nil registry fired: %+v", inj)
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot: %v", got)
+	}
+	if calls, fired := r.Counter("x", Transient); calls != 0 || fired != 0 {
+		t.Fatalf("nil counter: %d %d", calls, fired)
+	}
+	var inj *Injection
+	inj.Sleep(nil) // must not panic
+}
+
+func TestDeterministicFiringSequence(t *testing.T) {
+	arm := func() *Registry {
+		r := New(42)
+		if err := r.Arm(Fault{Point: "p", Kind: Transient, Probability: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := fireSeq(arm(), "p", 200)
+	b := fireSeq(arm(), "p", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at call %d", i)
+		}
+	}
+	// A different seed gives a different sequence (with overwhelming
+	// probability over 200 draws at p=0.3).
+	r2 := New(43)
+	if err := r2.Arm(Fault{Point: "p", Kind: Transient, Probability: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	c := fireSeq(r2, "p", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical firing sequences")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	r := New(7)
+	if err := r.Arm(Fault{Point: "always", Kind: Transient, Probability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Arm(Fault{Point: "never", Kind: Transient, Probability: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if inj := r.Fire("always"); inj == nil || inj.Err == nil {
+			t.Fatalf("call %d: p=1 did not fire an error", i)
+		}
+		if inj := r.Fire("never"); inj != nil {
+			t.Fatalf("call %d: p=0 fired", i)
+		}
+	}
+	if _, fired := r.Counter("always", Transient); fired != 50 {
+		t.Fatalf("fired = %d, want 50", fired)
+	}
+}
+
+func TestFiringLimit(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Fault{Point: "p", Kind: Transient, Probability: 1, Limit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if r.Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want limit 3", fired)
+	}
+}
+
+func TestTransientErrorClassification(t *testing.T) {
+	r := New(1)
+	if err := r.Arm(Fault{Point: "p", Kind: Transient, Probability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inj := r.Fire("p")
+	if inj == nil || inj.Err == nil {
+		t.Fatal("no injected error")
+	}
+	var tr interface{ Transient() bool }
+	if ok := errorsAs(inj.Err, &tr); !ok || !tr.Transient() {
+		t.Fatalf("injected error %v not classified transient", inj.Err)
+	}
+}
+
+// errorsAs is a local, interface-targeted errors.As to keep the test
+// independent of the resilience package.
+func errorsAs(err error, target *interface{ Transient() bool }) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok {
+			*target = t
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestLatencyAndPanicAndCorrupt(t *testing.T) {
+	r := New(9)
+	if err := r.Arm(Fault{Point: "p", Kind: Latency, Probability: 1, Delay: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Arm(Fault{Point: "p", Kind: Panic, Probability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Arm(Fault{Point: "q", Kind: Corrupt, Probability: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inj := r.Fire("p")
+	if inj == nil || inj.Delay != 5*time.Millisecond || !inj.Panicked {
+		t.Fatalf("combined injection: %+v", inj)
+	}
+	start := time.Now()
+	inj.Sleep(nil)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("Sleep returned too early")
+	}
+	// Sleep aborts promptly on done.
+	done := make(chan struct{})
+	close(done)
+	long := &Injection{Delay: time.Minute}
+	start = time.Now()
+	long.Sleep(done)
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored done")
+	}
+	if q := r.Fire("q"); q == nil || !q.Corrupted {
+		t.Fatalf("corrupt injection: %+v", q)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	r := New(1)
+	for _, bad := range []Fault{
+		{Point: "", Kind: Transient, Probability: 0.5},
+		{Point: "p", Kind: "meltdown", Probability: 0.5},
+		{Point: "p", Kind: Transient, Probability: -0.1},
+		{Point: "p", Kind: Transient, Probability: 1.1},
+	} {
+		if err := r.Arm(bad); err == nil {
+			t.Errorf("Arm(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	r, err := ParseSpec("pool.execute:transient:0.2:200,pool.execute:latency:0.1:2ms,memo.get:corrupt:1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := r.Armed()
+	if len(armed) != 3 {
+		t.Fatalf("armed %d faults, want 3: %+v", len(armed), armed)
+	}
+	byKey := map[string]Fault{}
+	for _, f := range armed {
+		byKey[f.Point+"/"+string(f.Kind)] = f
+	}
+	if f := byKey["pool.execute/transient"]; f.Probability != 0.2 || f.Limit != 200 {
+		t.Fatalf("transient entry: %+v", f)
+	}
+	if f := byKey["pool.execute/latency"]; f.Delay != 2*time.Millisecond {
+		t.Fatalf("latency entry: %+v", f)
+	}
+	if f := byKey["memo.get/corrupt"]; f.Probability != 1 {
+		t.Fatalf("corrupt entry: %+v", f)
+	}
+
+	if r, err := ParseSpec("", 1); err != nil || r != nil {
+		t.Fatalf("empty spec: %v %v", r, err)
+	}
+	for _, bad := range []string{"p", "p:transient", "p:transient:nope", "p:transient:0.5:what", "p:nuke:0.5"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	r := New(3)
+	if err := r.Arm(Fault{Point: "p", Kind: Transient, Probability: 1, Limit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Fire("p")
+	}
+	snap := r.Snapshot()
+	if snap["p/transient"] != 2 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+}

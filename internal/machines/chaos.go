@@ -1,0 +1,34 @@
+package machines
+
+import (
+	"fmt"
+
+	"sigkern/internal/core"
+	"sigkern/internal/faults"
+)
+
+// FaultPoint is the fault-injection point machine factories consult:
+// chaos runs can make machine construction fail transiently, stall, or
+// panic, modeling a flaky backend coming and going.
+const FaultPoint = "machines.factory"
+
+// ChaosFactory wraps a machine factory with the fault point. With a nil
+// registry (chaos off) the inner factory is returned unchanged, so the
+// production path pays nothing.
+func ChaosFactory(reg *faults.Registry, inner func(name string) (core.Machine, error)) func(name string) (core.Machine, error) {
+	if reg == nil {
+		return inner
+	}
+	return func(name string) (core.Machine, error) {
+		if inj := reg.Fire(FaultPoint); inj != nil {
+			inj.Sleep(nil)
+			if inj.Panicked {
+				panic(fmt.Sprintf("faults: injected panic at %s (%s)", FaultPoint, name))
+			}
+			if inj.Err != nil {
+				return nil, fmt.Errorf("machines: building %q: %w", name, inj.Err)
+			}
+		}
+		return inner(name)
+	}
+}

@@ -1,0 +1,214 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Allow while the breaker rejects calls.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the circuit's position.
+type BreakerState string
+
+// The classic three states: Closed passes everything and counts
+// failures; Open rejects everything until the open interval elapses;
+// HalfOpen admits a bounded number of probes whose outcomes decide
+// between reclosing and reopening.
+const (
+	Closed   BreakerState = "closed"
+	Open     BreakerState = "open"
+	HalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig parameterizes a Breaker. The zero value is usable.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open; <= 0 means 5.
+	FailureThreshold int
+	// OpenInterval is how long the breaker stays open before admitting
+	// probes; <= 0 means 5s.
+	OpenInterval time.Duration
+	// HalfOpenProbes is how many concurrent probe calls half-open
+	// admits; <= 0 means 1.
+	HalfOpenProbes int
+	// Now substitutes the clock in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenInterval <= 0 {
+		c.OpenInterval = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a circuit breaker guarding one backend (one machine model
+// in the service). It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last tripped
+	probes    int       // in-flight probes while half-open
+	rejected  uint64
+	tripCount uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.normalized(), state: Closed}
+}
+
+// Allow asks to place one call. It returns ErrBreakerOpen while the
+// circuit rejects traffic; on nil the caller must report the outcome
+// with Record exactly once.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenInterval {
+			b.rejected++
+			return fmt.Errorf("%w (retry in %v)", ErrBreakerOpen, b.retryAfterLocked())
+		}
+		b.state = HalfOpen
+		b.probes = 1
+		return nil
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejected++
+			return fmt.Errorf("%w (half-open, probes busy)", ErrBreakerOpen)
+		}
+		b.probes++
+		return nil
+	}
+}
+
+// Record reports the outcome of a call admitted by Allow.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			// One good probe recloses the circuit.
+			b.state = Closed
+			b.failures = 0
+			return
+		}
+		b.tripLocked()
+	case Open:
+		// A straggler from before the trip; outcomes while open don't
+		// move the state machine.
+	}
+}
+
+// tripLocked opens the circuit.
+func (b *Breaker) tripLocked() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probes = 0
+	b.tripCount++
+}
+
+// State returns the current position, accounting for open-interval
+// expiry (an open breaker past its interval reports half-open-eligible
+// as Open until the next Allow flips it; callers wanting scheduling
+// hints should use RetryAfter).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long callers should wait before retrying: zero
+// when the breaker admits traffic, the remaining open interval
+// otherwise.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	return b.retryAfterLocked()
+}
+
+func (b *Breaker) retryAfterLocked() time.Duration {
+	rem := b.cfg.OpenInterval - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Stats reports (trips, rejected) counters.
+func (b *Breaker) Stats() (trips, rejected uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripCount, b.rejected
+}
+
+// BreakerSet keys breakers by backend name, creating them on demand
+// with a shared config. It is safe for concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for name, creating it closed on first use.
+func (s *BreakerSet) Get(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[name] = b
+	}
+	return b
+}
+
+// States returns name -> state for every breaker created so far.
+func (s *BreakerSet) States() map[string]BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.m))
+	for name, b := range s.m {
+		out[name] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// WithTimeout derives a context bounded by d when d > 0, clamped so a
+// tighter parent deadline always wins — the deadline-propagation helper
+// the HTTP layer uses for ?timeout= query parameters. The returned
+// cancel must always be called; with d <= 0 it is a no-op cancel over
+// the parent.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if parent, ok := ctx.Deadline(); ok && time.Until(parent) < d {
+		// Parent is already tighter; inherit it.
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// ParseTimeout parses a request timeout string (Go duration syntax,
+// e.g. "250ms", "30s"): empty means none (0), and values are clamped
+// into (0, max] so a client cannot demand an unbounded or absurd wait.
+func ParseTimeout(s string, max time.Duration) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("resilience: bad timeout %q: %w", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("resilience: timeout %q must be positive", s)
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// Remaining returns the time left before ctx's deadline, or def when it
+// has none — the budget a retry loop can still spend.
+func Remaining(ctx context.Context, def time.Duration) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		return time.Until(dl)
+	}
+	return def
+}

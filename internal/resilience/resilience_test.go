@@ -1,0 +1,272 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("plain error classified transient")
+	}
+	if !IsTransient(MarkTransient(base)) {
+		t.Fatal("marked error not transient")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+	// Wrapping preserves the classification and errors.Is identity.
+	wrapped := fmt.Errorf("job x: %w", MarkTransient(base))
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient not recognized")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("errors.Is lost through MarkTransient")
+	}
+	// Context errors are never transient, even when marked.
+	if IsTransient(context.Canceled) || IsTransient(context.DeadlineExceeded) {
+		t.Fatal("context errors classified transient")
+	}
+	if IsTransient(fmt.Errorf("x: %w", context.DeadlineExceeded)) {
+		t.Fatal("wrapped deadline classified transient")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) {}}
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := errors.New("bad spec")
+	p := RetryPolicy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) {}}
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || attempts != 1 || calls != 1 {
+		t.Fatalf("permanent error retried: attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 4, Sleep: func(context.Context, time.Duration) {}}
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return MarkTransient(errors.New("always flaky"))
+	})
+	if err == nil || attempts != 4 || calls != 4 {
+		t.Fatalf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("final error lost its classification")
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond}
+	attempts, err := p.Do(ctx, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return MarkTransient(errors.New("flaky"))
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if attempts > 3 {
+		t.Fatalf("kept retrying after cancel: %d attempts", attempts)
+	}
+}
+
+func TestRetryDelayGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2, Jitter: 0}
+	var got []time.Duration
+	for a := 1; a <= 6; a++ {
+		got = append(got, p.Delay(a))
+	}
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("delay[%d] = %v, want %v", i+1, got[i], want[i]*time.Millisecond)
+		}
+	}
+	// With jitter the delay stays within (1-j)*d .. d.
+	pj := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := pj.Delay(1)
+		if d < 5*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("jittered delay %v out of [5ms, 10ms]", d)
+		}
+	}
+}
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestBreaker(threshold int, open time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		OpenInterval:     open,
+		Now:              clk.Now,
+	}), clk
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk := newTestBreaker(3, time.Second)
+	if b.State() != Closed {
+		t.Fatalf("initial state %s", b.State())
+	}
+	// Failures below threshold keep it closed; a success resets them.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Three consecutive failures trip it open.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatalf("state %s after threshold failures", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Second {
+		t.Fatalf("RetryAfter = %v", ra)
+	}
+	// After the open interval, one probe is admitted (half-open) and
+	// concurrent calls are rejected.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open admitted a second probe")
+	}
+	// Failed probe reopens.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %s after failed probe", b.State())
+	}
+	// Next interval: successful probe recloses.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state %s after good probe", b.State())
+	}
+	trips, rejected := b.Stats()
+	if trips != 2 || rejected < 2 {
+		t.Fatalf("stats: trips=%d rejected=%d", trips, rejected)
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{FailureThreshold: 1, OpenInterval: time.Hour})
+	a := s.Get("VIRAM")
+	if s.Get("VIRAM") != a {
+		t.Fatal("Get not stable")
+	}
+	if err := a.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	a.Record(false)
+	states := s.States()
+	if states["VIRAM"] != Open {
+		t.Fatalf("states: %v", states)
+	}
+	if s.Get("Raw").State() != Closed {
+		t.Fatal("unrelated breaker affected")
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout set a deadline")
+	}
+	ctx2, cancel2 := WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Fatal("timeout did not set a deadline")
+	}
+	// A tighter parent wins.
+	parent, pcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer pcancel()
+	child, ccancel := WithTimeout(parent, time.Hour)
+	defer ccancel()
+	dl, _ := child.Deadline()
+	if time.Until(dl) > time.Second {
+		t.Fatalf("child deadline %v looser than parent", time.Until(dl))
+	}
+}
+
+func TestParseTimeout(t *testing.T) {
+	if d, err := ParseTimeout("", time.Minute); err != nil || d != 0 {
+		t.Fatalf("empty: %v %v", d, err)
+	}
+	if d, err := ParseTimeout("250ms", time.Minute); err != nil || d != 250*time.Millisecond {
+		t.Fatalf("250ms: %v %v", d, err)
+	}
+	if d, err := ParseTimeout("2h", time.Minute); err != nil || d != time.Minute {
+		t.Fatalf("clamp: %v %v", d, err)
+	}
+	for _, bad := range []string{"soon", "-5s", "0s"} {
+		if _, err := ParseTimeout(bad, time.Minute); err == nil {
+			t.Errorf("ParseTimeout(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	if d := Remaining(context.Background(), time.Minute); d != time.Minute {
+		t.Fatalf("no-deadline remaining %v", d)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if d := Remaining(ctx, time.Minute); d <= 0 || d > time.Second {
+		t.Fatalf("deadline remaining %v", d)
+	}
+}

@@ -1,0 +1,164 @@
+// Package resilience provides the failure-handling primitives the
+// simulation service composes around the (deterministic) simulators:
+// transient-error classification, retry with exponential backoff and
+// jitter, a per-backend circuit breaker, and deadline-propagation
+// helpers. The simulators themselves are pure and never fail
+// transiently; transient errors enter the system from the environment —
+// fault injection (internal/faults), cancelled contexts, saturated
+// queues — and this package decides which of them are worth retrying.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// transientMarker classifies errors without coupling packages: any
+// error (anywhere in the Unwrap chain) exposing Transient() true is
+// retryable. internal/faults' injected errors implement it.
+type transientMarker interface{ Transient() bool }
+
+// transientError wraps an error to mark it retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true. A nil err stays
+// nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is classified retryable: some error
+// in its chain exposes Transient() true. Context cancellation and
+// deadline expiry are never transient — retrying work whose caller has
+// given up only wastes a worker.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if m, ok := e.(transientMarker); ok {
+			return m.Transient()
+		}
+	}
+	return false
+}
+
+// RetryPolicy configures Do: capped exponential backoff with full
+// jitter, a bounded attempt count, and context awareness. The zero
+// value is usable (DefaultRetry's parameters).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included);
+	// <= 0 means 5. MaxAttempts 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff; <= 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means 100ms.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts; < 1 means 2.
+	Multiplier float64
+	// Jitter in [0, 1] is the fraction of each delay drawn uniformly at
+	// random (full jitter at 1 spreads retry storms); < 0 means 0.5.
+	Jitter float64
+	// Sleep substitutes the backoff sleep in tests; nil uses a real,
+	// context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+// DefaultRetry is the service's retry policy: five attempts, 1ms base
+// doubling to a 100ms cap, half jitter. Simulation jobs are
+// milliseconds long, so backoff stays in the same order of magnitude.
+func DefaultRetry() RetryPolicy { return RetryPolicy{} }
+
+// normalized fills defaulted fields.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// Delay returns the backoff before retry attempt (1-based: attempt 1 is
+// the delay after the first failure), jittered.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.normalized()
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		// Full jitter over the jittered fraction: deterministic cycle
+		// counts never depend on retry timing, so a shared global source
+		// is fine here.
+		d = d*(1-p.Jitter) + rand.Float64()*d*p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// Do runs op until it succeeds, fails non-transiently, exhausts
+// MaxAttempts, or ctx ends. It returns the last error; attempts made is
+// reported alongside so callers can meter retries.
+func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) (attempts int, err error) {
+	p = p.normalized()
+	for attempt := 1; ; attempt++ {
+		err = op(ctx)
+		if err == nil || attempt >= p.MaxAttempts || !IsTransient(err) {
+			return attempt, err
+		}
+		if ctx.Err() != nil {
+			return attempt, fmt.Errorf("resilience: giving up after %d attempts: %w", attempt, ctx.Err())
+		}
+		delay := p.Delay(attempt)
+		if p.Sleep != nil {
+			p.Sleep(ctx, delay)
+		} else if !sleepCtx(ctx, delay) {
+			return attempt, fmt.Errorf("resilience: giving up after %d attempts: %w", attempt, ctx.Err())
+		}
+	}
+}
+
+// sleepCtx sleeps d, returning false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

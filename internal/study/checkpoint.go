@@ -1,0 +1,138 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sigkern/internal/core"
+)
+
+// Cell is one completed sweep cell in a checkpoint: the point label, the
+// machine column, and the cycles it simulated. Verified records whether
+// the simulator checked its functional output against the golden kernel
+// reference; only verified cells are trusted enough to skip on resume.
+type Cell struct {
+	Label    string `json:"label"`
+	Machine  string `json:"machine"`
+	Cycles   uint64 `json:"cycles"`
+	Verified bool   `json:"verified"`
+}
+
+// Checkpoint is a crash-safe record of completed sweep cells. A sweep
+// driver saves it after cells complete and reloads it with -resume, so a
+// killed sweep restarts from where it died instead of from scratch.
+// Cells are keyed by (label, machine); re-adding a cell overwrites it.
+// Checkpoint is safe for concurrent use.
+type Checkpoint struct {
+	mu    sync.Mutex
+	sweep string
+	cells []Cell
+	index map[string]int // (label \x00 machine) -> cells offset
+}
+
+// checkpointFile is the JSON shape on disk.
+type checkpointFile struct {
+	// Sweep names the sweep kind (e.g. "matrix") so a checkpoint cannot
+	// silently resume a different sweep's grid.
+	Sweep string `json:"sweep"`
+	Cells []Cell `json:"cells"`
+}
+
+// NewCheckpoint returns an empty checkpoint for the named sweep.
+func NewCheckpoint(sweep string) *Checkpoint {
+	return &Checkpoint{sweep: sweep, index: make(map[string]int)}
+}
+
+func cellKey(label, machine string) string { return label + "\x00" + machine }
+
+// Sweep returns the sweep kind this checkpoint belongs to.
+func (c *Checkpoint) Sweep() string { return c.sweep }
+
+// Len returns the number of recorded cells.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Add records one completed cell, overwriting any previous record for
+// the same (label, machine).
+func (c *Checkpoint) Add(label, machine string, r core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell := Cell{Label: label, Machine: machine, Cycles: r.Cycles, Verified: r.Verified}
+	if i, ok := c.index[cellKey(label, machine)]; ok {
+		c.cells[i] = cell
+		return
+	}
+	c.index[cellKey(label, machine)] = len(c.cells)
+	c.cells = append(c.cells, cell)
+}
+
+// Lookup returns the recorded cell for (label, machine). Callers decide
+// what to trust; the sweeper only skips cells with Verified set.
+func (c *Checkpoint) Lookup(label, machine string) (Cell, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[cellKey(label, machine)]
+	if !ok {
+		return Cell{}, false
+	}
+	return c.cells[i], true
+}
+
+// Save writes the checkpoint to path atomically: a temp file in the same
+// directory is fsynced and renamed over the target, so a crash mid-save
+// leaves either the old checkpoint or the new one, never a torn file.
+func (c *Checkpoint) Save(path string) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(checkpointFile{Sweep: c.sweep, Cells: c.cells}, "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("study: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("study: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("study: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("study: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("study: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("study: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save. A missing file is
+// reported as-is (errors.Is(err, fs.ErrNotExist)) so drivers can treat
+// "nothing to resume" separately from a corrupt checkpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("study: corrupt checkpoint %s: %w", path, err)
+	}
+	c := NewCheckpoint(f.Sweep)
+	for _, cell := range f.Cells {
+		c.index[cellKey(cell.Label, cell.Machine)] = len(c.cells)
+		c.cells = append(c.cells, cell)
+	}
+	return c, nil
+}

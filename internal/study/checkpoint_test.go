@@ -1,0 +1,157 @@
+package study
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sigkern/internal/core"
+)
+
+// countingPoints builds a 2-point x 2-machine grid whose runs return
+// deterministic cycles and count their invocations, so tests can prove
+// which cells actually re-simulated.
+func countingPoints(calls *atomic.Int64) []pointRuns {
+	cellRun := func(cycles uint64) func() (core.Result, error) {
+		return func() (core.Result, error) {
+			calls.Add(1)
+			return core.Result{Cycles: cycles, Verified: true}, nil
+		}
+	}
+	return []pointRuns{
+		{label: "p0", runs: []machineRun{
+			{machine: "A", run: cellRun(100)},
+			{machine: "B", run: cellRun(200)},
+		}},
+		{label: "p1", runs: []machineRun{
+			{machine: "A", run: cellRun(300)},
+			{machine: "B", run: cellRun(400)},
+		}},
+	}
+}
+
+// TestSweepResumesFromCheckpoint is the crash-safety acceptance check:
+// a sweep interrupted after some cells resumes from its checkpoint,
+// re-simulating only the missing cells, and the assembled points are
+// identical to an uninterrupted run.
+func TestSweepResumesFromCheckpoint(t *testing.T) {
+	var fullCalls atomic.Int64
+	want, err := Sweeper{}.sweep(countingPoints(&fullCalls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullCalls.Load() != 4 {
+		t.Fatalf("full sweep ran %d cells, want 4", fullCalls.Load())
+	}
+
+	// The "crashed" run completed p0 before dying.
+	cp := NewCheckpoint("test")
+	cp.Add("p0", "A", core.Result{Cycles: 100, Verified: true})
+	cp.Add("p0", "B", core.Result{Cycles: 200, Verified: true})
+
+	var resumedCalls atomic.Int64
+	var cellsSeen []string
+	got, err := Sweeper{
+		Completed: cp,
+		OnCell: func(label, machine string, r core.Result) {
+			cellsSeen = append(cellsSeen, label+"/"+machine)
+			cp.Add(label, machine, r)
+		},
+	}.sweep(countingPoints(&resumedCalls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed sweep differs:\nfull:    %+v\nresumed: %+v", want, got)
+	}
+	if resumedCalls.Load() != 2 {
+		t.Fatalf("resumed sweep ran %d cells, want 2 (p0 was checkpointed)", resumedCalls.Load())
+	}
+	// OnCell fires only for freshly simulated cells, and the checkpoint
+	// now holds the whole grid.
+	if !reflect.DeepEqual(cellsSeen, []string{"p1/A", "p1/B"}) {
+		t.Fatalf("OnCell saw %v", cellsSeen)
+	}
+	if cp.Len() != 4 {
+		t.Fatalf("checkpoint holds %d cells, want 4", cp.Len())
+	}
+}
+
+// TestSweepReRunsUnverifiedCheckpointCells proves resume only trusts
+// cells whose functional output was verified; anything else re-runs.
+func TestSweepReRunsUnverifiedCheckpointCells(t *testing.T) {
+	cp := NewCheckpoint("test")
+	cp.Add("p0", "A", core.Result{Cycles: 999999, Verified: false})
+
+	var calls atomic.Int64
+	got, err := Sweeper{Completed: cp}.sweep(countingPoints(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("ran %d cells, want 4 (unverified cell must re-run)", calls.Load())
+	}
+	if got[0].Cycles["A"] != 100 {
+		t.Fatalf("unverified checkpoint cycles served: %d", got[0].Cycles["A"])
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	cp := NewCheckpoint("matrix")
+	cp.Add("256x256", "VIRAM", core.Result{Cycles: 123, Verified: true})
+	cp.Add("256x256", "Raw", core.Result{Cycles: 456, Verified: false})
+	// Overwrite is keyed by (label, machine).
+	cp.Add("256x256", "VIRAM", core.Result{Cycles: 124, Verified: true})
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sweep() != "matrix" || loaded.Len() != 2 {
+		t.Fatalf("loaded sweep=%q len=%d", loaded.Sweep(), loaded.Len())
+	}
+	cell, ok := loaded.Lookup("256x256", "VIRAM")
+	if !ok || cell.Cycles != 124 || !cell.Verified {
+		t.Fatalf("VIRAM cell: %+v ok=%v", cell, ok)
+	}
+	if cell, _ := loaded.Lookup("256x256", "Raw"); cell.Verified {
+		t.Fatalf("Raw cell verified flag not preserved: %+v", cell)
+	}
+	if _, ok := loaded.Lookup("512x512", "VIRAM"); ok {
+		t.Fatal("phantom cell")
+	}
+
+	// The atomic save leaves no temp litter behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.json")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	bad := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(bad, []byte(`{"sweep":"matrix","cells":[{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil || errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("corrupt file: %v", err)
+	}
+}

@@ -44,6 +44,14 @@ type Sweeper struct {
 	// simulation service's) instead of a private one, sharing its
 	// metrics and memoization; Concurrency is then ignored.
 	Pool *svc.Pool
+	// Completed, when set, is a checkpoint of cells from a previous run:
+	// verified cells are served from it without re-simulating, which is
+	// how an interrupted sweep resumes. Unverified cells re-run.
+	Completed *Checkpoint
+	// OnCell, when set, is invoked once per freshly simulated cell (not
+	// for cells served from Completed), serially from the collection
+	// loop, in submission order. Drivers use it to checkpoint progress.
+	OnCell func(label, machine string, r core.Result)
 }
 
 // machineRun is one simulation of a sweep point: a column name and the
@@ -78,6 +86,10 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 		})
 		defer pool.Close()
 	}
+	out := make([]Point, len(points))
+	for i, p := range points {
+		out[i] = Point{Label: p.label, Cycles: map[string]uint64{}}
+	}
 	type cell struct {
 		point, run int
 		fut        *svc.Future
@@ -85,6 +97,15 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 	var cells []cell
 	for pi, p := range points {
 		for ri, mr := range p.runs {
+			// Resume: a verified cell from a previous run's checkpoint is
+			// served as-is; everything else (including unverified cells)
+			// re-simulates.
+			if s.Completed != nil {
+				if c, ok := s.Completed.Lookup(p.label, mr.machine); ok && c.Verified {
+					out[pi].Cycles[mr.machine] = c.Cycles
+					continue
+				}
+			}
 			run := mr.run
 			fut, err := pool.Submit(svc.Task{
 				Label: fmt.Sprintf("%s @ %s", mr.machine, p.label),
@@ -98,16 +119,16 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 			cells = append(cells, cell{point: pi, run: ri, fut: fut})
 		}
 	}
-	out := make([]Point, len(points))
-	for i, p := range points {
-		out[i] = Point{Label: p.label, Cycles: map[string]uint64{}}
-	}
 	for _, c := range cells {
+		label, machine := points[c.point].label, points[c.point].runs[c.run].machine
 		r, err := c.fut.Wait(context.Background())
 		if err != nil {
-			return nil, fmt.Errorf("study: %s: %w", points[c.point].runs[c.run].machine, err)
+			return nil, fmt.Errorf("study: %s: %w", machine, err)
 		}
-		out[c.point].Cycles[points[c.point].runs[c.run].machine] = r.Cycles
+		out[c.point].Cycles[machine] = r.Cycles
+		if s.OnCell != nil {
+			s.OnCell(label, machine, r)
+		}
 	}
 	return out, nil
 }

@@ -1,27 +1,43 @@
 package svc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"sigkern/internal/report"
+	"sigkern/internal/resilience"
 )
 
 // maxBodyBytes bounds request bodies; job specs are small.
 const maxBodyBytes = 1 << 20
 
+// maxRequestTimeout clamps client-supplied ?timeout= values.
+const maxRequestTimeout = 10 * time.Minute
+
+// StatusClientClosedRequest is the nginx-convention 499 status used
+// when the client went away mid-request; Go's net/http cannot actually
+// deliver it to a disconnected client, but it makes logs and tests
+// unambiguous about who aborted.
+const StatusClientClosedRequest = 499
+
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs        submit a job (JobSpec JSON); ?wait=1 blocks
+//	POST /v1/jobs        submit a job (JobSpec JSON); ?wait=1 blocks,
+//	                     ?timeout=30s bounds the wait. Saturation is
+//	                     shed with 429 + Retry-After; an open machine
+//	                     breaker answers 503 + Retry-After.
 //	GET  /v1/jobs        list tracked jobs
 //	GET  /v1/jobs/{id}   one job's status and result
 //	GET  /v1/tables/3    regenerate the paper's Table 3 (?format=text)
 //	GET  /metrics        flat-text metrics
-//	GET  /healthz        liveness probe
+//	GET  /healthz        queue depth, breaker states, degraded flag
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -48,15 +64,54 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError maps service errors onto HTTP statuses: explicit
+// httpErrors pass through; deadline expiry is the gateway's fault
+// (504); a cancelled context means the client hung up (499); a closed
+// pool is 503; everything else is 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		status = he.status
-	} else if errors.Is(err, ErrPoolClosed) {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrTimeout):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = StatusClientClosedRequest
+	case errors.Is(err, ErrPoolClosed):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// retryAfter estimates how long a shed client should back off: the
+// queue drained at the pool's recent p50 latency per worker, floored at
+// one second so the header is always actionable.
+func (s *Service) retryAfter() time.Duration {
+	snap := s.Metrics().Snapshot()
+	p50 := snap.P50Seconds
+	if p50 <= 0 {
+		p50 = 0.1
+	}
+	workers := s.pool.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(float64(s.pool.QueueDepth()) * p50 / float64(workers) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
+// setRetryAfter writes the Retry-After header as integral seconds,
+// rounded up.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -67,18 +122,37 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpError{http.StatusBadRequest, "bad job spec: " + err.Error()})
 		return
 	}
-	job, err := s.Submit(spec)
+	reqTimeout, err := resilience.ParseTimeout(r.URL.Query().Get("timeout"), maxRequestTimeout)
 	if err != nil {
-		if job.ID == "" {
+		writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+
+	job, err := s.Admit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			setRetryAfter(w, s.retryAfter())
+			writeError(w, httpError{http.StatusTooManyRequests, err.Error()})
+		case errors.Is(err, resilience.ErrBreakerOpen):
+			ra := s.breakers.Get(spec.Machine).RetryAfter()
+			if ra <= 0 {
+				ra = time.Second
+			}
+			setRetryAfter(w, ra)
+			writeError(w, httpError{http.StatusServiceUnavailable, err.Error()})
+		case job.ID == "":
 			// Rejected before registration (bad machine, kernel, workload).
 			writeError(w, httpError{http.StatusBadRequest, err.Error()})
-		} else {
+		default:
 			writeError(w, err) // registered but not enqueued (pool closed)
 		}
 		return
 	}
 	if wantWait(r) {
-		final, werr := s.Wait(r.Context(), job.ID)
+		ctx, cancel := resilience.WithTimeout(r.Context(), reqTimeout)
+		defer cancel()
+		final, werr := s.Wait(ctx, job.ID)
 		if werr != nil {
 			writeError(w, werr)
 			return
@@ -106,6 +180,10 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.Job(id)
 	if !ok {
+		if s.wasEvicted(id) {
+			writeError(w, httpError{http.StatusGone, fmt.Sprintf("job %q evicted from registry", id)})
+			return
+		}
 		writeError(w, httpError{http.StatusNotFound, fmt.Sprintf("unknown job %q", id)})
 		return
 	}
@@ -133,10 +211,50 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.Metrics().Snapshot().WriteText(w)
 }
 
+// Health is the /healthz payload: admission and breaker visibility for
+// load balancers and chaos drivers.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "degraded"
+	Degraded bool   `json:"degraded"`
+	Workers  int    `json:"workers"`
+	// QueueDepth/QueueCap expose admission headroom; shedding begins
+	// when depth reaches cap.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Breakers maps machine name -> circuit state for every backend
+	// exercised so far.
+	Breakers map[string]resilience.BreakerState `json:"breakers,omitempty"`
+	// Faults reports fired fault-injection counts when chaos is armed.
+	Faults map[string]uint64 `json:"faults_fired,omitempty"`
+	Time   string            `json:"time"`
+}
+
+// Healthz assembles the health snapshot: degraded when the queue is at
+// least 80% full or any breaker is not closed.
+func (s *Service) Healthz() Health {
+	h := Health{
+		Status:     "ok",
+		Workers:    s.pool.Workers(),
+		QueueDepth: s.pool.QueueDepth(),
+		QueueCap:   s.pool.QueueCap(),
+		Breakers:   s.breakers.States(),
+		Faults:     s.pool.Faults().Snapshot(),
+		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if h.QueueCap > 0 && h.QueueDepth*5 >= h.QueueCap*4 {
+		h.Degraded = true
+	}
+	for _, st := range h.Breakers {
+		if st != resilience.Closed {
+			h.Degraded = true
+		}
+	}
+	if h.Degraded {
+		h.Status = "degraded"
+	}
+	return h
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.pool.Workers(),
-		"time":    time.Now().UTC().Format(time.RFC3339),
-	})
+	writeJSON(w, http.StatusOK, s.Healthz())
 }

@@ -1,0 +1,234 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+// blockingFactory returns a MachineFactory that parks every build on the
+// returned gate until release is called (idempotent). Factory calls run
+// inside the task goroutine, so this holds worker slots at will.
+func blockingFactory() (MachineFactory, func()) {
+	gate := make(chan struct{})
+	var once sync.Once
+	factory := func(name string) (core.Machine, error) {
+		<-gate
+		return machines.ByName(name)
+	}
+	return factory, func() { once.Do(func() { close(gate) }) }
+}
+
+func postJob(t *testing.T, url string, spec JobSpec) (*http.Response, Job) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	_ = json.NewDecoder(resp.Body).Decode(&job)
+	return resp, job
+}
+
+func waitForState(t *testing.T, s *Service, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := s.Job(id); ok && j.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := s.Job(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, want)
+}
+
+// TestHTTPShedsWith429WhenSaturated is the admission-control acceptance
+// check: a saturated daemon answers POST /v1/jobs with 429 and an
+// actionable Retry-After instead of queueing unboundedly, and /healthz
+// reports the degradation.
+func TestHTTPShedsWith429WhenSaturated(t *testing.T) {
+	factory, release := blockingFactory()
+	s := NewService(Options{
+		Pool:    PoolOptions{Workers: 1, QueueDepth: 1, JobTimeout: time.Minute},
+		Factory: factory,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer func() {
+		srv.Close()
+		release()
+		s.Close()
+	}()
+
+	w := smallWorkload()
+	// Distinct specs so no submission is served from the memo table.
+	running := JobSpec{Machine: "PPC", Kernel: core.CornerTurn, Workload: &w}
+	queued := JobSpec{Machine: "AltiVec", Kernel: core.CornerTurn, Workload: &w}
+	shed := JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w}
+
+	resp, first := postJob(t, srv.URL+"/v1/jobs", running)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	// The worker must pick the first job up before the second can be the
+	// one occupying the single queue slot.
+	waitForState(t, s, first.ID, Running)
+
+	resp, second := postJob(t, srv.URL+"/v1/jobs", queued)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-slot submit: %d", resp.StatusCode)
+	}
+
+	resp, _ = postJob(t, srv.URL+"/v1/jobs", shed)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q, want integral seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	if snap := s.Metrics().Snapshot(); snap.Shed != 1 {
+		t.Fatalf("shed not metered: %+v", snap)
+	}
+
+	// The full queue degrades health (depth 1 of cap 1 is >= 80%).
+	var h Health
+	if resp := getJSON(t, srv.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if !h.Degraded || h.Status != "degraded" || h.QueueDepth != 1 || h.QueueCap != 1 || h.Workers != 1 {
+		t.Fatalf("health under saturation: %+v", h)
+	}
+
+	release()
+	for _, id := range []string{first.ID, second.ID} {
+		final, err := s.Wait(context.Background(), id)
+		if err != nil || final.State != Done {
+			t.Fatalf("job %s after release: %+v err %v", id, final, err)
+		}
+	}
+}
+
+// TestHTTPWaitTimeoutReturns504 proves a client-supplied ?timeout=
+// bounds the synchronous wait and expires as 504, not as a hung request
+// or a 500.
+func TestHTTPWaitTimeoutReturns504(t *testing.T) {
+	factory, release := blockingFactory()
+	s := NewService(Options{
+		Pool:    PoolOptions{Workers: 1, JobTimeout: time.Minute},
+		Factory: factory,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer func() {
+		srv.Close()
+		release()
+		s.Close()
+	}()
+
+	w := smallWorkload()
+	spec := JobSpec{Machine: "PPC", Kernel: core.BeamSteering, Workload: &w}
+	body, _ := json.Marshal(spec)
+	begin := time.Now()
+	resp, err := http.Post(srv.URL+"/v1/jobs?wait=1&timeout=100ms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired wait: %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("timeout not honored: waited %v", elapsed)
+	}
+}
+
+func TestHTTPRejectsBadTimeout(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, q := range []string{"timeout=bogus", "timeout=-5s", "timeout=0s"} {
+		resp, err := http.Post(srv.URL+"/v1/jobs?wait=1&"+q, "application/json",
+			bytes.NewReader([]byte(`{"machine":"PPC","kernel":"cslc"}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestWriteErrorStatusMapping pins the error -> status translation:
+// deadline expiry is the gateway's fault (504), a cancelled context
+// means the client hung up (499), a closed pool is 503.
+func TestWriteErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{ErrTimeout, http.StatusGatewayTimeout},
+		{errors.New("wrapped: " + context.DeadlineExceeded.Error()), http.StatusInternalServerError},
+		{context.Canceled, StatusClientClosedRequest},
+		{ErrPoolClosed, http.StatusServiceUnavailable},
+		{httpError{http.StatusTeapot, "custom"}, http.StatusTeapot},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, c.err)
+		if rec.Code != c.want {
+			t.Errorf("writeError(%v) = %d, want %d", c.err, rec.Code, c.want)
+		}
+		var payload map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil || payload["error"] == "" {
+			t.Errorf("writeError(%v) body %q not an error envelope", c.err, rec.Body.String())
+		}
+	}
+}
+
+// TestHTTPEvictedJobGone proves an ID dropped by registry eviction
+// answers 410 Gone, distinct from 404 for a never-issued ID.
+func TestHTTPEvictedJobGone(t *testing.T) {
+	s := NewService(Options{Pool: PoolOptions{Workers: 2, JobTimeout: time.Minute}, MaxJobs: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer func() {
+		srv.Close()
+		s.Close()
+	}()
+	w := smallWorkload()
+	var first string
+	for i, spec := range []JobSpec{
+		{Machine: "PPC", Kernel: core.CornerTurn, Workload: &w},
+		{Machine: "AltiVec", Kernel: core.CornerTurn, Workload: &w},
+		{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w},
+	} {
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = job.ID
+		}
+	}
+	if resp := getJSON(t, srv.URL+"/v1/jobs/"+first, nil); resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted job: %d, want 410", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/jobs/never-issued", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}

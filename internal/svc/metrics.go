@@ -27,6 +27,10 @@ type Metrics struct {
 	cacheHits    uint64
 	cacheMisses  uint64
 	cyclesServed uint64
+	retries      uint64
+	determinism  uint64
+	shed         uint64
+	breakerDrops uint64
 	latencies    []time.Duration
 	next         int
 	filled       bool
@@ -96,6 +100,34 @@ func (m *Metrics) cyclesRun(cycles uint64) {
 	m.mu.Unlock()
 }
 
+// jobRetried records n transient-failure re-executions of one job.
+func (m *Metrics) jobRetried(n uint64) {
+	m.mu.Lock()
+	m.retries += n
+	m.mu.Unlock()
+}
+
+// determinismViolation records the determinism guard tripping.
+func (m *Metrics) determinismViolation() {
+	m.mu.Lock()
+	m.determinism++
+	m.mu.Unlock()
+}
+
+// loadShed records an admission rejected because the queue was full.
+func (m *Metrics) loadShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// breakerRejected records an admission rejected by an open breaker.
+func (m *Metrics) breakerRejected() {
+	m.mu.Lock()
+	m.breakerDrops++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Queued       uint64  `json:"jobs_queued"`
@@ -108,6 +140,14 @@ type Snapshot struct {
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CyclesServed uint64  `json:"simulated_cycles_served"`
+	// Retries counts transient-failure re-executions; Determinism
+	// counts guard trips (results disagreeing with the memoized spec
+	// hash); Shed and BreakerRejected count admissions refused by the
+	// full queue and by open circuit breakers.
+	Retries         uint64 `json:"retries"`
+	Determinism     uint64 `json:"determinism_violations"`
+	Shed            uint64 `json:"jobs_shed"`
+	BreakerRejected uint64 `json:"breaker_rejected"`
 	// P50 and P99 are latency quantiles over the most recent terminal
 	// jobs (a rolling window), in seconds.
 	P50Seconds float64 `json:"latency_p50_seconds"`
@@ -129,6 +169,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheHits:    m.cacheHits,
 		CacheMisses:  m.cacheMisses,
 		CyclesServed: m.cyclesServed,
+
+		Retries:         m.retries,
+		Determinism:     m.determinism,
+		Shed:            m.shed,
+		BreakerRejected: m.breakerDrops,
 	}
 	if probes := m.cacheHits + m.cacheMisses; probes > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(probes)
@@ -176,6 +221,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		{"simserved_cache_misses_total", fmt.Sprintf("%d", s.CacheMisses)},
 		{"simserved_cache_hit_rate", fmt.Sprintf("%.4f", s.CacheHitRate)},
 		{"simserved_simulated_cycles_served_total", fmt.Sprintf("%d", s.CyclesServed)},
+		{"simserved_retries_total", fmt.Sprintf("%d", s.Retries)},
+		{"simserved_determinism_violations_total", fmt.Sprintf("%d", s.Determinism)},
+		{"simserved_jobs_shed_total", fmt.Sprintf("%d", s.Shed)},
+		{"simserved_breaker_rejected_total", fmt.Sprintf("%d", s.BreakerRejected)},
 		{"simserved_job_latency_p50_seconds", fmt.Sprintf("%.6f", s.P50Seconds)},
 		{"simserved_job_latency_p99_seconds", fmt.Sprintf("%.6f", s.P99Seconds)},
 		{"simserved_job_latency_samples", fmt.Sprintf("%d", s.Samples)},

@@ -10,6 +10,8 @@ import (
 
 	"sigkern/internal/cache"
 	"sigkern/internal/core"
+	"sigkern/internal/faults"
+	"sigkern/internal/resilience"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -18,6 +20,29 @@ var ErrPoolClosed = errors.New("svc: pool closed")
 // ErrTimeout wraps per-job deadline expiries so callers can classify
 // them (errors.Is(err, ErrTimeout)).
 var ErrTimeout = errors.New("svc: job timed out")
+
+// ErrOverloaded is returned by TrySubmit when every worker is busy and
+// the queue is full — the load-shedding signal the HTTP layer turns
+// into 429 + Retry-After.
+var ErrOverloaded = errors.New("svc: overloaded, job shed")
+
+// ErrDeterminism marks the determinism guard tripping: a simulation
+// result disagreed with the memoized result for the same spec hash.
+// The simulators are bit-exact, so this is always corruption (an
+// injected fault, a memory error, a bug) and is served as a hard error,
+// never a silently wrong cycle count.
+var ErrDeterminism = errors.New("svc: determinism violation")
+
+// Fault points the pool consults (see internal/faults).
+const (
+	// FaultPointExecute fires at the start of every execution attempt:
+	// transient errors here are absorbed by the retry policy, latency
+	// models a slow backend, panics exercise panic isolation.
+	FaultPointExecute = "pool.execute"
+	// FaultPointMemoGet fires on memo reads: a Corrupt fault damages
+	// the served copy, which the determinism guard must catch.
+	FaultPointMemoGet = "memo.get"
+)
 
 // Task is one unit of work for the pool: a label for diagnostics, an
 // optional memoization key, and the function to run. Run receives a
@@ -59,29 +84,40 @@ func (f *Future) Wait(ctx context.Context) (core.Result, error) {
 func (f *Future) FromCache() bool { return f.fromCache }
 
 // PoolOptions configures a Pool. The zero value is usable: GOMAXPROCS
-// workers, a 2-minute per-job timeout, and a 1024-entry memo table.
+// workers, a 2-minute per-job timeout, a 1024-entry memo table, and the
+// default retry policy over transient-classified errors.
 type PoolOptions struct {
 	// Workers is the number of concurrent job slots.
 	Workers int
-	// JobTimeout bounds one job's execution; <= 0 means 2 minutes.
+	// JobTimeout bounds one job's execution including retries; <= 0
+	// means 2 minutes.
 	JobTimeout time.Duration
 	// QueueDepth is the number of tasks that can wait for a worker
-	// before Submit blocks (backpressure); <= 0 means 256.
+	// before Submit blocks (backpressure) and TrySubmit sheds; <= 0
+	// means 256.
 	QueueDepth int
 	// MemoCapacity is the memo table size; < 0 disables memoization.
 	MemoCapacity int
 	// Metrics receives lifecycle events; nil allocates a private one.
 	Metrics *Metrics
+	// Retry governs re-execution of attempts that fail with an error
+	// classified transient (resilience.IsTransient). The zero value is
+	// resilience.DefaultRetry; set MaxAttempts to 1 to disable.
+	Retry resilience.RetryPolicy
+	// Faults is the fault-injection registry the pool consults; nil
+	// means faults.Default() (armed from SIGKERN_FAULTS, usually off).
+	Faults *faults.Registry
 }
 
 // Pool is a bounded worker pool running simulation tasks with per-job
-// timeouts, panic isolation, and optional result memoization. It is
-// safe for concurrent use.
+// timeouts, panic isolation, transient-error retry, and optional result
+// memoization guarded for determinism. It is safe for concurrent use.
 type Pool struct {
 	opts    PoolOptions
 	tasks   chan poolItem
 	memo    *cache.Memo[core.Result]
 	metrics *Metrics
+	faults  *faults.Registry
 
 	// submitMu serializes sends on tasks against Close: Submit sends
 	// while holding the read lock, so once Close holds the write lock no
@@ -113,10 +149,14 @@ func NewPool(opts PoolOptions) *Pool {
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics()
 	}
+	if opts.Faults == nil {
+		opts.Faults = faults.Default()
+	}
 	p := &Pool{
 		opts:    opts,
 		tasks:   make(chan poolItem, opts.QueueDepth),
 		metrics: opts.Metrics,
+		faults:  opts.Faults,
 	}
 	if opts.MemoCapacity >= 0 {
 		capacity := opts.MemoCapacity
@@ -124,6 +164,16 @@ func NewPool(opts PoolOptions) *Pool {
 			capacity = 1024
 		}
 		p.memo = cache.NewMemo[core.Result](capacity)
+		if reg := p.faults; reg != nil {
+			p.memo.SetCorruptor(func(key string, r core.Result) (core.Result, bool) {
+				if inj := reg.Fire(FaultPointMemoGet); inj != nil && inj.Corrupted {
+					r.Cycles ^= 0xDEAD
+					r.Verified = false
+					return r, true
+				}
+				return r, false
+			})
+		}
 	}
 	p.ctx, p.cancel = context.WithCancel(context.Background())
 	for i := 0; i < opts.Workers; i++ {
@@ -139,6 +189,16 @@ func (p *Pool) Workers() int { return p.opts.Workers }
 // Metrics returns the pool's registry.
 func (p *Pool) Metrics() *Metrics { return p.metrics }
 
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCap returns the queue's capacity (the shed threshold).
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Faults returns the fault-injection registry the pool consults (nil
+// when chaos is off).
+func (p *Pool) Faults() *faults.Registry { return p.faults }
+
 // MemoHitRate returns the memo table's hit rate (0 when disabled).
 func (p *Pool) MemoHitRate() float64 {
 	if p.memo == nil {
@@ -150,7 +210,14 @@ func (p *Pool) MemoHitRate() float64 {
 // Submit enqueues a task and returns its future. It blocks while all
 // workers are busy and the queue is full (backpressure), and fails fast
 // once the pool is closed.
-func (p *Pool) Submit(t Task) (*Future, error) {
+func (p *Pool) Submit(t Task) (*Future, error) { return p.submit(t, true) }
+
+// TrySubmit enqueues a task without blocking: when every worker is busy
+// and the queue is full it sheds the task with ErrOverloaded instead of
+// queueing unboundedly — the admission-control entry point.
+func (p *Pool) TrySubmit(t Task) (*Future, error) { return p.submit(t, false) }
+
+func (p *Pool) submit(t Task, block bool) (*Future, error) {
 	if t.Run == nil {
 		return nil, errors.New("svc: task with nil Run")
 	}
@@ -160,11 +227,22 @@ func (p *Pool) Submit(t Task) (*Future, error) {
 		return nil, ErrPoolClosed
 	}
 	fut := &Future{done: make(chan struct{}), started: make(chan struct{})}
-	p.metrics.jobQueued()
 
 	// Serve memo hits synchronously: no worker slot, no queueing delay.
+	// The served copy is verified against the stored entry (Peek
+	// bypasses the corruption hook), so a damaged cache read becomes a
+	// hard ErrDeterminism, never a silently wrong cycle count.
 	if p.memo != nil && t.MemoKey != "" {
 		if r, ok := p.memo.Get(t.MemoKey); ok {
+			p.metrics.jobQueued()
+			if raw, ok := p.memo.Peek(t.MemoKey); !ok || raw.Cycles != r.Cycles || raw.Verified != r.Verified {
+				p.metrics.determinismViolation()
+				p.metrics.jobFinished(false, false, false, false, 0)
+				fut.err = fmt.Errorf("svc: job %q: memoized result failed verification: %w", t.Label, ErrDeterminism)
+				close(fut.started)
+				close(fut.done)
+				return fut, nil
+			}
 			p.metrics.cacheHit(r.Cycles)
 			p.metrics.jobFinished(false, true, false, false, 0)
 			fut.res, fut.fromCache = r, true
@@ -175,11 +253,22 @@ func (p *Pool) Submit(t Task) (*Future, error) {
 		p.metrics.cacheMiss()
 	}
 
-	// May block when the queue is full (backpressure); workers keep
-	// draining because Close cannot cancel them until this send's read
-	// lock is released.
-	p.tasks <- poolItem{task: t, fut: fut}
-	return fut, nil
+	if block {
+		p.metrics.jobQueued()
+		// May block when the queue is full (backpressure); workers keep
+		// draining because Close cannot cancel them until this send's read
+		// lock is released.
+		p.tasks <- poolItem{task: t, fut: fut}
+		return fut, nil
+	}
+	select {
+	case p.tasks <- poolItem{task: t, fut: fut}:
+		p.metrics.jobQueued()
+		return fut, nil
+	default:
+		p.metrics.loadShed()
+		return nil, fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
+	}
 }
 
 // Close stops accepting tasks, waits for running workers to finish
@@ -219,7 +308,18 @@ func (p *Pool) worker() {
 	}
 }
 
-// execute runs one task with timeout and panic isolation.
+// panicError reports a recovered task panic; it is never transient.
+type panicError struct {
+	label string
+	value any
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("svc: job %q panicked: %v", e.label, e.value)
+}
+
+// execute runs one task with timeout, panic isolation, transient-error
+// retry, and the determinism guard over the memo table.
 func (p *Pool) execute(item poolItem) {
 	start := time.Now()
 	close(item.fut.started)
@@ -228,43 +328,90 @@ func (p *Pool) execute(item poolItem) {
 	ctx, cancel := context.WithTimeout(p.ctx, p.opts.JobTimeout)
 	defer cancel()
 
+	var res core.Result
+	attempts, err := p.opts.Retry.Do(ctx, func(ctx context.Context) error {
+		r, aerr := p.runAttempt(ctx, item.task)
+		if aerr == nil {
+			res = r
+		}
+		return aerr
+	})
+	if attempts > 1 {
+		p.metrics.jobRetried(uint64(attempts - 1))
+	}
+	// The per-job context's only cancellation path (as opposed to
+	// deadline) is pool shutdown, so report abandoned in-flight work as
+	// ErrPoolClosed — same as tasks still queued at Close.
+	if errors.Is(err, context.Canceled) {
+		err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
+	}
+
+	var pe *panicError
+	panicked := errors.As(err, &pe)
+	timedOut := errors.Is(err, ErrTimeout)
+
+	if err == nil && p.memo != nil && item.task.MemoKey != "" {
+		// Determinism guard: a re-executed (possibly retried) job must
+		// reproduce the memoized cycle count for its spec hash bit for
+		// bit. The simulators are deterministic, so a mismatch is
+		// corruption and is surfaced as a hard error.
+		if prev, ok := p.memo.Peek(item.task.MemoKey); ok && prev.Cycles != res.Cycles {
+			p.metrics.determinismViolation()
+			err = fmt.Errorf("svc: job %q: ran to %d cycles but %d are memoized for the same spec: %w",
+				item.task.Label, res.Cycles, prev.Cycles, ErrDeterminism)
+		} else {
+			p.memo.Put(item.task.MemoKey, res)
+		}
+	}
+	if err == nil {
+		p.metrics.cyclesRun(res.Cycles)
+	}
+	p.metrics.jobFinished(true, err == nil, timedOut, panicked, time.Since(start))
+	if err != nil {
+		res = core.Result{}
+	}
+	item.fut.res, item.fut.err = res, err
+	close(item.fut.done)
+}
+
+// runAttempt executes one try of the task with panic isolation,
+// consulting the execute fault point. The simulator cannot be
+// interrupted mid-flight: when ctx ends first the attempt is abandoned
+// (its goroutine finishes in the background, the buffered channel lets
+// it exit) and the deadline is reported as ErrTimeout.
+func (p *Pool) runAttempt(ctx context.Context, t Task) (core.Result, error) {
 	type outcome struct {
-		res      core.Result
-		err      error
-		panicked bool
+		res core.Result
+		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				ch <- outcome{err: fmt.Errorf("svc: job %q panicked: %v", item.task.Label, r), panicked: true}
+				ch <- outcome{err: &panicError{label: t.Label, value: r}}
 			}
 		}()
-		res, err := item.task.Run(ctx)
+		if inj := p.faults.Fire(FaultPointExecute); inj != nil {
+			inj.Sleep(ctx.Done())
+			if inj.Panicked {
+				panic("faults: injected panic at " + FaultPointExecute)
+			}
+			if inj.Err != nil {
+				ch <- outcome{err: fmt.Errorf("svc: job %q: %w", t.Label, inj.Err)}
+				return
+			}
+		}
+		res, err := t.Run(ctx)
 		ch <- outcome{res: res, err: err}
 	}()
 
-	var out outcome
-	timedOut := false
 	select {
-	case out = <-ch:
+	case out := <-ch:
+		return out.res, out.err
 	case <-ctx.Done():
-		// The simulator cannot be interrupted; abandon it. Its goroutine
-		// finishes in the background and the buffered channel lets it exit.
-		timedOut = errors.Is(ctx.Err(), context.DeadlineExceeded)
-		out = outcome{err: fmt.Errorf("svc: job %q: %w", item.task.Label, ErrTimeout)}
-		if !timedOut {
-			out.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ctx.Err())
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return core.Result{}, fmt.Errorf("svc: job %q: %w", t.Label, ErrTimeout)
 		}
+		return core.Result{}, fmt.Errorf("svc: job %q: %w", t.Label, ctx.Err())
 	}
-
-	if out.err == nil {
-		if p.memo != nil && item.task.MemoKey != "" {
-			p.memo.Put(item.task.MemoKey, out.res)
-		}
-		p.metrics.cyclesRun(out.res.Cycles)
-	}
-	p.metrics.jobFinished(true, out.err == nil, timedOut, out.panicked, time.Since(start))
-	item.fut.res, item.fut.err = out.res, out.err
-	close(item.fut.done)
 }

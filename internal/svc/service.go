@@ -2,37 +2,57 @@ package svc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"sigkern/internal/core"
+	"sigkern/internal/faults"
 	"sigkern/internal/machines"
+	"sigkern/internal/resilience"
 )
+
+// ErrJobEvicted is returned by Wait when the asked-for job existed but
+// was dropped from the registry by terminal-job eviction — distinct
+// from an ID that was never issued, so clients can tell "poll later
+// with a fresh submit" from "bogus ID".
+var ErrJobEvicted = errors.New("svc: job evicted from registry")
 
 // Options configures a Service. The zero value is usable.
 type Options struct {
 	Pool PoolOptions
 	// Factory builds fresh machine instances per job; nil means
-	// machines.ByName (the paper configurations).
+	// machines.ByName (the paper configurations). The factory is
+	// wrapped with the machines.FaultPoint chaos hook when a fault
+	// registry is active.
 	Factory MachineFactory
 	// MaxJobs bounds the job registry; once exceeded the oldest
 	// terminal jobs are evicted. <= 0 means 4096.
 	MaxJobs int
+	// Breaker configures the per-machine-backend circuit breakers; the
+	// zero value uses resilience defaults (5 consecutive failures trip
+	// a 5s open interval).
+	Breaker resilience.BreakerConfig
 }
 
 // Service is the simulation job-queue service: it tracks submitted jobs
-// by ID, runs them on the pool, and answers status queries. It is safe
-// for concurrent use.
+// by ID, runs them on the pool behind per-machine circuit breakers, and
+// answers status queries. It is safe for concurrent use.
 type Service struct {
-	pool    *Pool
-	factory MachineFactory
-	maxJobs int
+	pool     *Pool
+	factory  MachineFactory
+	maxJobs  int
+	breakers *resilience.BreakerSet
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string // submission order, for eviction and listing
-	seq   uint64
+	// evicted remembers (bounded) IDs dropped by evictLocked so Wait
+	// can report eviction distinctly from never-issued IDs.
+	evicted      map[string]bool
+	evictedOrder []string
+	seq          uint64
 }
 
 // NewService starts a service and its pool.
@@ -43,11 +63,16 @@ func NewService(opts Options) *Service {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 4096
 	}
+	if opts.Pool.Faults == nil {
+		opts.Pool.Faults = faults.Default()
+	}
 	return &Service{
-		pool:    NewPool(opts.Pool),
-		factory: opts.Factory,
-		maxJobs: opts.MaxJobs,
-		jobs:    make(map[string]*Job),
+		pool:     NewPool(opts.Pool),
+		factory:  machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
+		maxJobs:  opts.MaxJobs,
+		breakers: resilience.NewBreakerSet(opts.Breaker),
+		jobs:     make(map[string]*Job),
+		evicted:  make(map[string]bool),
 	}
 }
 
@@ -57,12 +82,26 @@ func (s *Service) Pool() *Pool { return s.pool }
 // Metrics returns the service's registry.
 func (s *Service) Metrics() *Metrics { return s.pool.Metrics() }
 
+// Breakers returns the per-machine circuit breakers.
+func (s *Service) Breakers() *resilience.BreakerSet { return s.breakers }
+
 // Close shuts the pool down after draining running jobs.
 func (s *Service) Close() { s.pool.Close() }
 
 // Submit normalizes, registers, and enqueues one job, returning a
 // snapshot of its initial state. Cache hits come back already Done.
-func (s *Service) Submit(spec JobSpec) (Job, error) {
+// Submit blocks for a queue slot when the pool is saturated
+// (backpressure); batch drivers want that.
+func (s *Service) Submit(spec JobSpec) (Job, error) { return s.submit(spec, true) }
+
+// Admit is Submit with load shedding instead of backpressure: when
+// every worker is busy and the queue is full the job is refused with
+// ErrOverloaded (HTTP 429 upstairs), and when the machine's circuit
+// breaker is open it is refused with resilience.ErrBreakerOpen (503).
+// The serving layer uses Admit so saturation never queues unboundedly.
+func (s *Service) Admit(spec JobSpec) (Job, error) { return s.submit(spec, false) }
+
+func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return Job{}, err
@@ -70,6 +109,14 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	hash, err := norm.Hash()
 	if err != nil {
 		return Job{}, err
+	}
+
+	breaker := s.breakers.Get(norm.Machine)
+	if !block {
+		if err := breaker.Allow(); err != nil {
+			s.pool.Metrics().breakerRejected()
+			return Job{}, fmt.Errorf("svc: machine %s: %w", norm.Machine, err)
+		}
 	}
 
 	s.mu.Lock()
@@ -86,23 +133,51 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	s.evictLocked()
 	s.mu.Unlock()
 
-	fut, err := s.pool.Submit(Task{
+	task := Task{
 		Label:   fmt.Sprintf("%s/%s", norm.Machine, norm.Kernel),
 		MemoKey: hash,
 		Run: func(context.Context) (core.Result, error) {
 			s.markRunning(job.ID)
 			return runSpec(s.factory, norm)
 		},
-	})
+	}
+	var fut *Future
+	if block {
+		fut, err = s.pool.Submit(task)
+	} else {
+		fut, err = s.pool.TrySubmit(task)
+	}
 	if err != nil {
+		if !block {
+			// The job never reached a worker: the backend was not
+			// exercised, so the breaker learns nothing from a shed.
+			s.drop(job.ID)
+			return Job{}, err
+		}
 		s.finish(job.ID, core.Result{}, false, err)
 		return s.snapshot(job.ID), err
 	}
 	go func() {
-		res, err := fut.Wait(context.Background())
-		s.finish(job.ID, res, fut.FromCache(), err)
+		res, werr := fut.Wait(context.Background())
+		if !block && !fut.FromCache() {
+			breaker.Record(werr == nil)
+		}
+		s.finish(job.ID, res, fut.FromCache(), werr)
 	}()
 	return s.snapshot(job.ID), nil
+}
+
+// drop removes an unstarted job that was shed at admission.
+func (s *Service) drop(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, jid := range s.order {
+		if jid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -129,8 +204,16 @@ func (s *Service) Jobs() []Job {
 	return out
 }
 
+// wasEvicted reports whether id was dropped by terminal-job eviction.
+func (s *Service) wasEvicted(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted[id]
+}
+
 // Wait blocks until the job reaches a terminal state or ctx ends, and
-// returns the final snapshot.
+// returns the final snapshot. A job dropped by registry eviction is
+// reported as ErrJobEvicted, distinct from a never-issued ID.
 func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 	// Poll-free would need a per-job channel; jobs are seconds-long, so
 	// a short poll keeps the registry simple.
@@ -139,6 +222,9 @@ func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 	for {
 		j, ok := s.Job(id)
 		if !ok {
+			if s.wasEvicted(id) {
+				return Job{}, fmt.Errorf("svc: job %q: %w", id, ErrJobEvicted)
+			}
 			return Job{}, fmt.Errorf("svc: unknown job %q", id)
 		}
 		if j.State.Terminal() {
@@ -190,7 +276,8 @@ func (s *Service) snapshot(id string) Job {
 }
 
 // evictLocked drops the oldest terminal jobs once the registry exceeds
-// MaxJobs. Non-terminal jobs are never evicted.
+// MaxJobs, remembering their IDs (bounded) so Wait can tell eviction
+// apart from an unknown ID. Non-terminal jobs are never evicted.
 func (s *Service) evictLocked() {
 	if len(s.order) <= s.maxJobs {
 		return
@@ -201,12 +288,20 @@ func (s *Service) evictLocked() {
 		j := s.jobs[id]
 		if excess > 0 && j != nil && j.State.Terminal() {
 			delete(s.jobs, id)
+			s.evicted[id] = true
+			s.evictedOrder = append(s.evictedOrder, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	// Bound the eviction memory too: forget the oldest evicted IDs once
+	// it outgrows the registry itself.
+	for len(s.evictedOrder) > s.maxJobs {
+		delete(s.evicted, s.evictedOrder[0])
+		s.evictedOrder = s.evictedOrder[1:]
+	}
 }
 
 // Table3 regenerates the paper's Table 3 by fanning every (machine,
@@ -276,11 +371,18 @@ func RunStudyParallel(ctx context.Context, p *Pool, factory MachineFactory, name
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	// Metadata instances: used only for Name/Params, never run.
+	// Metadata instances: used only for Name/Params, never run. The
+	// factory consults a chaos fault point, so builds are retried like
+	// any other transient failure.
 	ms := make([]core.Machine, len(names))
 	for i, name := range names {
-		m, err := factory(name)
-		if err != nil {
+		name := name
+		var m core.Machine
+		if _, err := resilience.DefaultRetry().Do(ctx, func(context.Context) error {
+			var ferr error
+			m, ferr = factory(name)
+			return ferr
+		}); err != nil {
 			return nil, err
 		}
 		ms[i] = m
