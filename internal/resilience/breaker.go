@@ -100,6 +100,19 @@ func (b *Breaker) Allow() error {
 	}
 }
 
+// Cancel releases a call admitted by Allow without reporting an
+// outcome — for calls that never exercised the backend (shed by the
+// queue, answered from a memo cache), where neither success nor failure
+// would be evidence. Without this, an unconsumed half-open probe slot
+// would wedge the breaker rejecting traffic until restart.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
 // Record reports the outcome of a call admitted by Allow.
 func (b *Breaker) Record(ok bool) {
 	b.mu.Lock()

@@ -36,6 +36,25 @@ func TestIsTransientClassification(t *testing.T) {
 	}
 }
 
+func TestIsTransientJoinedErrors(t *testing.T) {
+	base := errors.New("boom")
+	// errors.Join hides markers behind Unwrap() []error; the walk must
+	// still find them on any branch.
+	if !IsTransient(errors.Join(base, MarkTransient(errors.New("flaky")))) {
+		t.Fatal("transient marker lost inside errors.Join")
+	}
+	if IsTransient(errors.Join(base, errors.New("other"))) {
+		t.Fatal("joined permanent errors classified transient")
+	}
+	if !IsTransient(fmt.Errorf("x: %w", errors.Join(MarkTransient(base)))) {
+		t.Fatal("wrapped join lost classification")
+	}
+	// A joined context error still vetoes retrying: the caller gave up.
+	if IsTransient(errors.Join(MarkTransient(base), context.Canceled)) {
+		t.Fatal("join containing canceled classified transient")
+	}
+}
+
 func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
 	calls := 0
 	p := RetryPolicy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) {}}
@@ -199,6 +218,43 @@ func TestBreakerLifecycle(t *testing.T) {
 	trips, rejected := b.Stats()
 	if trips != 2 || rejected < 2 {
 		t.Fatalf("stats: trips=%d rejected=%d", trips, rejected)
+	}
+}
+
+// TestBreakerCancelReleasesProbeSlot pins the Allow/Cancel pairing: a
+// half-open probe slot taken by a call that never reached the backend
+// (shed, cache hit) must be released without deciding the circuit, or
+// the breaker wedges rejecting traffic until restart.
+func TestBreakerCancelReleasesProbeSlot(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false) // trips open
+	clk.advance(time.Second)
+	// Half-open: the single probe slot is taken by the first Allow.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open admitted a second probe")
+	}
+	// Cancel frees the slot without reclosing or reopening.
+	b.Cancel()
+	if b.State() != HalfOpen {
+		t.Fatalf("state %s after cancel, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot not released by cancel: %v", err)
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state %s after good probe", b.State())
+	}
+	// Cancel outside half-open is a no-op.
+	b.Cancel()
+	if b.State() != Closed {
+		t.Fatalf("cancel moved a closed breaker to %s", b.State())
 	}
 }
 

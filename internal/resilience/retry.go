@@ -38,9 +38,11 @@ func MarkTransient(err error) error {
 }
 
 // IsTransient reports whether err is classified retryable: some error
-// in its chain exposes Transient() true. Context cancellation and
-// deadline expiry are never transient — retrying work whose caller has
-// given up only wastes a worker.
+// in its unwrap tree exposes Transient() true. The walk covers both
+// single-error wrapping and errors.Join aggregates (Unwrap() []error) —
+// any transient branch makes the whole error retryable. Context
+// cancellation and deadline expiry are never transient — retrying work
+// whose caller has given up only wastes a worker.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false
@@ -48,9 +50,26 @@ func IsTransient(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	for e := err; e != nil; e = errors.Unwrap(e) {
-		if m, ok := e.(transientMarker); ok {
-			return m.Transient()
+	return markedTransient(err)
+}
+
+// markedTransient walks err's full unwrap tree; the first marker found
+// on a branch decides for that branch.
+func markedTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if m, ok := err.(transientMarker); ok {
+		return m.Transient()
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		return markedTransient(u.Unwrap())
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			if markedTransient(e) {
+				return true
+			}
 		}
 	}
 	return false

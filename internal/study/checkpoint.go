@@ -85,8 +85,9 @@ func (c *Checkpoint) Lookup(label, machine string) (Cell, bool) {
 }
 
 // Save writes the checkpoint to path atomically: a temp file in the same
-// directory is fsynced and renamed over the target, so a crash mid-save
-// leaves either the old checkpoint or the new one, never a torn file.
+// directory is fsynced and renamed over the target, and the directory is
+// fsynced after the rename, so a crash or power loss mid-save leaves
+// either the old checkpoint or the new one, never a torn file.
 func (c *Checkpoint) Save(path string) error {
 	c.mu.Lock()
 	data, err := json.MarshalIndent(checkpointFile{Sweep: c.sweep, Cells: c.cells}, "", "  ")
@@ -113,6 +114,16 @@ func (c *Checkpoint) Save(path string) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("study: commit checkpoint: %w", err)
+	}
+	// Fsync the directory so the rename itself survives power loss; the
+	// file fsync above only made the temp file's contents durable.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("study: open checkpoint dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("study: sync checkpoint dir: %w", err)
 	}
 	return nil
 }

@@ -66,8 +66,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps service errors onto HTTP statuses: explicit
 // httpErrors pass through; deadline expiry is the gateway's fault
-// (504); a cancelled context means the client hung up (499); a closed
-// pool is 503; everything else is 500.
+// (504); a cancelled context means the client hung up (499); a job
+// evicted from the registry is gone (410); a closed pool is 503;
+// everything else is 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he httpError
@@ -78,6 +79,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = StatusClientClosedRequest
+	case errors.Is(err, ErrJobEvicted):
+		status = http.StatusGone
 	case errors.Is(err, ErrPoolClosed):
 		status = http.StatusServiceUnavailable
 	}

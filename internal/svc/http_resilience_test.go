@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -171,7 +172,9 @@ func TestHTTPRejectsBadTimeout(t *testing.T) {
 
 // TestWriteErrorStatusMapping pins the error -> status translation:
 // deadline expiry is the gateway's fault (504), a cancelled context
-// means the client hung up (499), a closed pool is 503.
+// means the client hung up (499), an evicted job is gone (410, same as
+// handleJob's answer for the identical condition), a closed pool is
+// 503.
 func TestWriteErrorStatusMapping(t *testing.T) {
 	cases := []struct {
 		err  error
@@ -181,6 +184,8 @@ func TestWriteErrorStatusMapping(t *testing.T) {
 		{ErrTimeout, http.StatusGatewayTimeout},
 		{errors.New("wrapped: " + context.DeadlineExceeded.Error()), http.StatusInternalServerError},
 		{context.Canceled, StatusClientClosedRequest},
+		{ErrJobEvicted, http.StatusGone},
+		{fmt.Errorf("svc: job %q: %w", "j000001-deadbeef", ErrJobEvicted), http.StatusGone},
 		{ErrPoolClosed, http.StatusServiceUnavailable},
 		{httpError{http.StatusTeapot, "custom"}, http.StatusTeapot},
 		{errors.New("anything else"), http.StatusInternalServerError},

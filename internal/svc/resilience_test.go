@@ -13,6 +13,7 @@ import (
 
 	"sigkern/internal/core"
 	"sigkern/internal/faults"
+	"sigkern/internal/machines"
 	"sigkern/internal/resilience"
 )
 
@@ -291,6 +292,176 @@ func TestServiceBreakerOpensAndRecovers(t *testing.T) {
 	now.Store(&later)
 	if _, err := s.Admit(spec); err != nil {
 		t.Fatalf("probe not admitted after interval: %v", err)
+	}
+}
+
+// breakerTestService builds a service whose factory fails while failing
+// is set and whose breaker trips on one failure, with a manually
+// advanced clock.
+func breakerTestService(pool PoolOptions, failing *atomic.Bool, now *atomic.Pointer[time.Time]) *Service {
+	boom := errors.New("backend down")
+	return NewService(Options{
+		Pool: pool,
+		Factory: func(name string) (core.Machine, error) {
+			if failing.Load() {
+				return nil, boom
+			}
+			return machines.ByName(name)
+		},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: 1,
+			OpenInterval:     time.Hour,
+			Now:              func() time.Time { return *now.Load() },
+		},
+	})
+}
+
+// TestBreakerShedProbeDoesNotWedge is the probe-slot-leak regression
+// test: a job admitted while the breaker is half-open but shed by a
+// saturated queue never reaches the backend, so its probe slot must be
+// released — otherwise the breaker rejects all traffic for that
+// machine until process restart.
+func TestBreakerShedProbeDoesNotWedge(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	clk := time.Unix(0, 0)
+	var now atomic.Pointer[time.Time]
+	now.Store(&clk)
+	s := breakerTestService(PoolOptions{
+		Workers: 1, QueueDepth: 1, JobTimeout: time.Minute,
+		Retry:  resilience.RetryPolicy{MaxAttempts: 1},
+		Faults: faults.New(1),
+	}, &failing, &now)
+	defer s.Close()
+	w := smallWorkload()
+	spec := JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w}
+
+	// One failure trips the breaker open.
+	job, err := s.Admit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, werr := s.Wait(context.Background(), job.ID); werr != nil || final.State != Failed {
+		t.Fatalf("trip job: %+v err %v", final, werr)
+	}
+	if st := s.Breakers().Get("VIRAM").State(); st != resilience.Open {
+		t.Fatalf("breaker %s, want open", st)
+	}
+
+	// Saturate the pool: one job running, one holding the queue slot.
+	release := make(chan struct{})
+	slow := func(context.Context) (core.Result, error) {
+		<-release
+		return core.Result{Cycles: 1, Verified: true}, nil
+	}
+	first, err := s.Pool().TrySubmit(Task{Label: "slow0", Run: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.started
+	second, err := s.Pool().TrySubmit(Task{Label: "slow1", Run: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Past the open interval the breaker admits one probe — which the
+	// saturated queue sheds.
+	failing.Store(false)
+	later := now.Load().Add(2 * time.Hour)
+	now.Store(&later)
+	if _, err := s.Admit(spec); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated admit: %v, want ErrOverloaded", err)
+	}
+
+	close(release)
+	for _, f := range []*Future{first, second} {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The shed must have released the probe slot: the next admission is
+	// the real probe, not an ErrBreakerOpen from a leaked slot.
+	job, err = s.Admit(spec)
+	if err != nil {
+		t.Fatalf("probe after shed rejected: %v", err)
+	}
+	if final, werr := s.Wait(context.Background(), job.ID); werr != nil || final.State != Done {
+		t.Fatalf("probe job: %+v err %v", final, werr)
+	}
+	if st := s.Breakers().Get("VIRAM").State(); st != resilience.Closed {
+		t.Fatalf("breaker %s after good probe, want closed", st)
+	}
+}
+
+// TestBreakerCacheHitProbeDoesNotWedge: a half-open probe answered from
+// the memo table never exercised the backend, so it must release its
+// probe slot without deciding the circuit — not reclose it on no
+// evidence, and not leak the slot.
+func TestBreakerCacheHitProbeDoesNotWedge(t *testing.T) {
+	var failing atomic.Bool
+	clk := time.Unix(0, 0)
+	var now atomic.Pointer[time.Time]
+	now.Store(&clk)
+	s := breakerTestService(PoolOptions{
+		Workers: 2, JobTimeout: time.Minute,
+		Retry:  resilience.RetryPolicy{MaxAttempts: 1},
+		Faults: faults.New(1),
+	}, &failing, &now)
+	defer s.Close()
+	w := smallWorkload()
+	warm := JobSpec{Machine: "VIRAM", Kernel: core.BeamSteering, Workload: &w}
+	fresh := JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w}
+
+	// Warm the memo with a healthy run (blocking Submit skips the breaker).
+	job, err := s.Submit(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, werr := s.Wait(context.Background(), job.ID); werr != nil || final.State != Done {
+		t.Fatalf("warm job: %+v err %v", final, werr)
+	}
+
+	// Trip the breaker with a failing run of a non-memoized spec.
+	failing.Store(true)
+	job, err = s.Admit(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, werr := s.Wait(context.Background(), job.ID); werr != nil || final.State != Failed {
+		t.Fatalf("trip job: %+v err %v", final, werr)
+	}
+	if st := s.Breakers().Get("VIRAM").State(); st != resilience.Open {
+		t.Fatalf("breaker %s, want open", st)
+	}
+	failing.Store(false)
+	later := now.Load().Add(2 * time.Hour)
+	now.Store(&later)
+
+	// The probe is answered from the memo: served fine, but the circuit
+	// stays half-open because the backend was never exercised.
+	job, err = s.Admit(warm)
+	if err != nil {
+		t.Fatalf("cache-hit probe rejected: %v", err)
+	}
+	final, werr := s.Wait(context.Background(), job.ID)
+	if werr != nil || final.State != Done || !final.FromCache {
+		t.Fatalf("cache-hit probe: %+v err %v", final, werr)
+	}
+	if st := s.Breakers().Get("VIRAM").State(); st != resilience.HalfOpen {
+		t.Fatalf("breaker %s after cache-hit probe, want half-open", st)
+	}
+
+	// The slot came back: a real probe is admitted and recloses.
+	job, err = s.Admit(fresh)
+	if err != nil {
+		t.Fatalf("probe after cache hit rejected: %v", err)
+	}
+	if final, werr := s.Wait(context.Background(), job.ID); werr != nil || final.State != Done {
+		t.Fatalf("real probe: %+v err %v", final, werr)
+	}
+	if st := s.Breakers().Get("VIRAM").State(); st != resilience.Closed {
+		t.Fatalf("breaker %s after good probe, want closed", st)
 	}
 }
 

@@ -150,7 +150,10 @@ func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
 	if err != nil {
 		if !block {
 			// The job never reached a worker: the backend was not
-			// exercised, so the breaker learns nothing from a shed.
+			// exercised, so the breaker learns nothing from a shed — but
+			// the admitted slot must be released, or a shed probe would
+			// wedge a half-open breaker until restart.
+			breaker.Cancel()
 			s.drop(job.ID)
 			return Job{}, err
 		}
@@ -159,8 +162,15 @@ func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
 	}
 	go func() {
 		res, werr := fut.Wait(context.Background())
-		if !block && !fut.FromCache() {
-			breaker.Record(werr == nil)
+		if !block {
+			// Pair the Allow above with exactly one outcome report: a
+			// memo hit never exercised the backend, so its slot is
+			// released without evidence; everything else is an outcome.
+			if fut.FromCache() {
+				breaker.Cancel()
+			} else {
+				breaker.Record(werr == nil)
+			}
 		}
 		s.finish(job.ID, res, fut.FromCache(), werr)
 	}()
