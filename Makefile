@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos bench clean
+.PHONY: all build vet test race check chaos soak bench clean
+
+# soak sweeps the durability and chaos suites under the race detector
+# across a fixed seed matrix: journal frame/replay tests, svc crash and
+# drain recovery, idempotency, and the kill-and-restart end-to-end run,
+# all with fault injection armed. Each seed shifts which attempts fault
+# without sacrificing reproducibility.
+SOAK_SEEDS ?= 1 7 42
 
 all: check
 
@@ -31,6 +38,15 @@ check:
 chaos:
 	SIGKERN_FAULTS='pool.execute:transient:0.1,pool.execute:latency:0.05:2ms,machines.factory:transient:0.05' \
 	SIGKERN_FAULTS_SEED=42 $(GO) test -race ./...
+
+soak:
+	@set -e; for seed in $(SOAK_SEEDS); do \
+		echo "== soak seed $$seed =="; \
+		SIGKERN_FAULTS='pool.execute:transient:0.1,pool.execute:latency:0.05:2ms' \
+		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Journal|Replay|Durab|Idempot|Frame|TornTail|Chaos|E2E' \
+			./internal/journal/... ./internal/svc/... ./cmd/simserved/...; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/machines"
+	"sigkern/internal/svc"
+)
+
+// e2eChaos matches the make-chaos fault mix: transient execute faults
+// and latency injection, seeded so runs are reproducible. The pool's
+// five-attempt retry absorbs transients, so jobs still terminate Done.
+var e2eChaos = []string{
+	"SIGKERN_FAULTS=pool.execute:transient:0.1,pool.execute:latency:0.05:2ms",
+	"SIGKERN_FAULTS_SEED=42",
+}
+
+func e2eWorkload() core.Workload {
+	return core.Workload{
+		CornerTurn: cornerturn.Spec{Rows: 64, Cols: 64, BlockSize: 16},
+		CSLC:       cslc.Spec{MainChannels: 1, AuxChannels: 1, Samples: 256, SubBands: 3, FFTSize: 64, Radix: fft.Radix4},
+		Beam:       beamsteer.Spec{Elements: 64, Directions: 2, Dwells: 2, ShiftBits: 2, Rounding: 2},
+	}
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simserved")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type daemon struct {
+	t   *testing.T
+	cmd *exec.Cmd
+	url string
+}
+
+// startDaemon launches the binary against the given journal directory
+// on an ephemeral port (discovered via -addrfile) and waits until
+// /healthz answers.
+func startDaemon(t *testing.T, bin, journalDir string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-addrfile", addrFile,
+		"-journal", journalDir, "-fsync", "always",
+		"-workers", "2", "-queue", "64", "-timeout", "1m", "-drain", "20s")
+	cmd.Env = append(os.Environ(), e2eChaos...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{t: t, cmd: cmd}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+			_ = d.cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("daemon logs:\n%s", logs.String())
+		}
+	})
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			d.url = "http://" + strings.TrimSpace(string(addr))
+			if resp, err := http.Get(d.url + "/healthz"); err == nil {
+				resp.Body.Close()
+				return d
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon never became reachable; logs:\n%s", logs.String())
+	return nil
+}
+
+// kill SIGKILLs the daemon: no drain, no snapshot, no fsync beyond
+// what already happened — the crash the journal exists for.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+// terminate sends SIGTERM and requires a clean (exit 0) drain.
+func (d *daemon) terminate() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		d.t.Fatalf("daemon did not drain cleanly: %v", err)
+	}
+}
+
+func (d *daemon) submit(key string, spec svc.JobSpec, wait bool) (*http.Response, svc.Job) {
+	d.t.Helper()
+	body, _ := json.Marshal(spec)
+	url := d.url + "/v1/jobs"
+	if wait {
+		url += "?wait=1&timeout=60s"
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job svc.Job
+	_ = json.NewDecoder(resp.Body).Decode(&job)
+	return resp, job
+}
+
+// TestE2EKillRestartDurability is the crash-recovery acceptance test:
+// a chaos-armed daemon is SIGKILLed mid-flight, restarted on the same
+// journal, and every accepted job must reach a terminal state with
+// cycle counts bit-identical to an in-process reference run —
+// idempotent resubmits landing on the original jobs, never duplicates.
+// A final SIGTERM drain plus third start proves the snapshot path.
+func TestE2EKillRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons; skipped in -short")
+	}
+	bin := buildDaemon(t)
+	journalDir := t.TempDir()
+	w := e2eWorkload()
+
+	// Ground truth, computed in-process: the simulators are
+	// deterministic, so the daemon — killed or not — must agree bit
+	// for bit.
+	type refJob struct {
+		key    string
+		spec   svc.JobSpec
+		cycles uint64
+	}
+	var refs []refJob
+	for _, name := range []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"} {
+		m, err := machines.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []core.KernelID{core.CornerTurn, core.CSLC, core.BeamSteering} {
+			res, err := core.Run(m, k, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, refJob{
+				key:    fmt.Sprintf("e2e-%s-%s", name, k),
+				spec:   svc.JobSpec{Machine: name, Kernel: k, Workload: &w},
+				cycles: res.Cycles,
+			})
+		}
+	}
+
+	// Phase 1: finish some jobs, leave the rest in flight, SIGKILL.
+	d1 := startDaemon(t, bin, journalDir)
+	finishedIDs := make(map[string]string)
+	half := len(refs) / 2
+	for _, r := range refs[:half] {
+		resp, job := d1.submit(r.key, r.spec, true)
+		if resp.StatusCode != http.StatusOK || job.State != svc.Done {
+			t.Fatalf("%s: status %d state %s", r.key, resp.StatusCode, job.State)
+		}
+		if job.Result == nil || job.Result.Cycles != r.cycles {
+			t.Fatalf("%s: daemon cycles %+v, reference %d", r.key, job.Result, r.cycles)
+		}
+		finishedIDs[r.key] = job.ID
+	}
+	for _, r := range refs[half:] {
+		resp, _ := d1.submit(r.key, r.spec, false)
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: async submit status %d", r.key, resp.StatusCode)
+		}
+	}
+	d1.kill()
+
+	// Phase 2: restart on the same journal. Every accepted job must
+	// turn terminal; retries with the original keys find the original
+	// jobs and the original cycle counts.
+	d2 := startDaemon(t, bin, journalDir)
+	for _, r := range refs {
+		resp, job := d2.submit(r.key, r.spec, true)
+		if resp.StatusCode != http.StatusOK || job.State != svc.Done || job.Result == nil {
+			t.Fatalf("%s after restart: status %d job %+v", r.key, resp.StatusCode, job)
+		}
+		if job.Result.Cycles != r.cycles {
+			t.Fatalf("%s after restart: cycles %d, reference %d — determinism broken",
+				r.key, job.Result.Cycles, r.cycles)
+		}
+		if origID, ok := finishedIDs[r.key]; ok {
+			if job.ID != origID {
+				t.Fatalf("%s resubmit made new job %s, original was %s", r.key, job.ID, origID)
+			}
+			if resp.Header.Get("Idempotency-Replayed") != "true" {
+				t.Fatalf("%s resubmit not marked replayed", r.key)
+			}
+		}
+	}
+	d2.terminate()
+
+	// Phase 3: the SIGTERM drain wrote a snapshot; a third start
+	// restores every job from it without replaying log records.
+	d3 := startDaemon(t, bin, journalDir)
+	var h svc.Health
+	resp, err := http.Get(d3.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Journal == nil || !h.Journal.Replay.SnapshotLoaded || h.Journal.Replay.RecordsApplied != 0 {
+		t.Fatalf("third start did not restore from snapshot: %+v", h.Journal)
+	}
+	var page svc.JobListPage
+	resp, err = http.Get(d3.url + "/v1/jobs?limit=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Total != len(refs) {
+		t.Fatalf("third start holds %d jobs, want %d (no duplicates, no losses)", page.Total, len(refs))
+	}
+	byKey := make(map[string]svc.Job, len(page.Jobs))
+	for _, j := range page.Jobs {
+		byKey[j.IdemKey] = j
+	}
+	for _, r := range refs {
+		j, ok := byKey[r.key]
+		if !ok || j.State != svc.Done || j.Result == nil || j.Result.Cycles != r.cycles {
+			t.Fatalf("%s in snapshot restore: %+v (ok=%v), reference %d", r.key, j, ok, r.cycles)
+		}
+	}
+	d3.terminate()
+}

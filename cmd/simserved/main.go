@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	simserved -addr :8080 -workers 8 -timeout 2m
+//	simserved -addr :8080 -workers 8 -timeout 2m -journal /var/lib/simserved
 //
 // Endpoints:
 //
 //	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks,
-//	                     ?timeout=30s bounds the wait
-//	GET  /v1/jobs        list jobs
+//	                     ?timeout=30s bounds the wait; an Idempotency-Key
+//	                     header makes retries safe
+//	GET  /v1/jobs        list jobs (?limit= page size, ?after= cursor)
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /v1/tables/3    the paper's Table 3, machine-parallel (?format=text)
 //	GET  /metrics        flat-text metrics
-//	GET  /healthz        queue depth, breaker states, degraded flag
+//	GET  /healthz        queue depth, breaker states, journal lag; 200 when
+//	                     healthy, 503 when degraded
 //
 // Admission control: the job queue is bounded (-queue); once it fills,
 // submissions are shed with 429 and a Retry-After estimate instead of
@@ -25,8 +27,18 @@
 // cycle count for its spec hash — a determinism violation is a hard
 // error, never a silently wrong number.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
-// requests and running simulations drain before exit.
+// Durability: with -journal DIR every job lifecycle transition is
+// written to an append-only log before it is acknowledged (-fsync
+// selects the flush policy). A restart replays the journal: finished
+// jobs come back under their original IDs with their original results,
+// and accepted-but-unfinished jobs are re-enqueued. Requests carrying
+// the same Idempotency-Key (or, absent one, the same spec) after a
+// crash are answered with the original job rather than duplicated.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// admitting, drains in-flight HTTP requests and simulations, then
+// (when journaling) writes a snapshot and compacts the log so the next
+// start replays from the snapshot alone, and exits 0.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,47 +56,103 @@ import (
 	"time"
 
 	"sigkern/internal/faults"
+	"sigkern/internal/journal"
 	"sigkern/internal/machines"
 	"sigkern/internal/svc"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	addrFile := flag.String("addrfile", "", "write the bound listen address to this file (useful with -addr :0)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation slots")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout")
 	memo := flag.Int("memo", 1024, "memoized results to keep (negative disables)")
 	queue := flag.Int("queue", 256, "queued jobs before admissions are shed with 429")
 	configPath := flag.String("config", "", "load machine configurations from this JSON file")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	journalDir := flag.String("journal", "", "journal job lifecycle to this directory (empty disables durability)")
+	fsync := flag.String("fsync", "always", "journal flush policy: always, interval, or never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence when -fsync=interval")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *memo, *queue, *timeout, *drain, *configPath); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, addrFile: *addrFile,
+		workers: *workers, memo: *memo, queue: *queue,
+		timeout: *timeout, drain: *drain,
+		configPath: *configPath,
+		journalDir: *journalDir, fsync: *fsync, fsyncEvery: *fsyncEvery,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, memo, queue int, timeout, drain time.Duration, configPath string) error {
+type daemonConfig struct {
+	addr, addrFile string
+	workers        int
+	memo           int
+	queue          int
+	timeout        time.Duration
+	drain          time.Duration
+	configPath     string
+	journalDir     string
+	fsync          string
+	fsyncEvery     time.Duration
+}
+
+func run(cfg daemonConfig) error {
 	opts := svc.Options{
 		Pool: svc.PoolOptions{
-			Workers:      workers,
-			JobTimeout:   timeout,
-			MemoCapacity: memo,
-			QueueDepth:   queue,
+			Workers:      cfg.workers,
+			JobTimeout:   cfg.timeout,
+			MemoCapacity: cfg.memo,
+			QueueDepth:   cfg.queue,
 		},
 	}
-	if configPath != "" {
-		set, err := machines.LoadConfigSet(configPath)
+	if cfg.configPath != "" {
+		set, err := machines.LoadConfigSet(cfg.configPath)
 		if err != nil {
 			return err
 		}
 		opts.Factory = machines.FactoryFromConfigSet(set)
 	}
-	service := svc.NewService(opts)
-	defer service.Close()
+
+	var service *svc.Service
+	if cfg.journalDir != "" {
+		policy, err := journal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		service, err = svc.OpenDurable(opts, journal.Options{
+			Dir:          cfg.journalDir,
+			Sync:         policy,
+			SyncInterval: cfg.fsyncEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		rs := service.ReplayStats()
+		log.Printf("simserved: journal %s (fsync=%s): restored %d job(s), %d result(s), requeued %d, truncated %d frame(s)",
+			cfg.journalDir, cfg.fsync, rs.JobsRestored, rs.ResultsRestored, rs.Requeued, rs.Truncations)
+	} else {
+		service = svc.NewService(opts)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		service.Close()
+		return err
+	}
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			service.Close()
+			return fmt.Errorf("addrfile: %w", err)
+		}
+	}
 
 	server := &http.Server{
-		Addr:              addr,
 		Handler:           service.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -98,8 +167,8 @@ func run(addr string, workers, memo, queue int, timeout, drain time.Duration, co
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("simserved: listening on %s (%d workers, %v job timeout, %d-deep admission queue)",
-			addr, workers, timeout, queue)
-		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			ln.Addr(), cfg.workers, cfg.timeout, cfg.queue)
+		if err := server.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}
@@ -108,15 +177,24 @@ func run(addr string, workers, memo, queue int, timeout, drain time.Duration, co
 
 	select {
 	case err := <-errc:
+		service.Close()
 		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("simserved: shutting down (draining up to %v)", drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	// Drain order matters: stop admitting first (HTTP shutdown), then
+	// finish in-flight simulations and — when journaling — snapshot and
+	// compact so the next start replays nothing but the snapshot.
+	log.Printf("simserved: shutting down (draining up to %v)", cfg.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
+		service.Close()
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	service.Close()
+	if cfg.journalDir != "" {
+		log.Printf("simserved: journal checkpointed to %s", cfg.journalDir)
 	}
 	return <-errc
 }

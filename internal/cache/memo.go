@@ -112,6 +112,20 @@ func (m *Memo[V]) Put(key string, value V) {
 	m.entries[key] = &memoEntry[V]{value: value, used: m.tick}
 }
 
+// Entries returns a copy of the table's current contents, keyed as
+// stored. The simulation service's durability layer serializes this
+// into its journal snapshot so memoized results survive a restart;
+// reading it touches neither statistics nor recency.
+func (m *Memo[V]) Entries() map[string]V {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]V, len(m.entries))
+	for k, e := range m.entries {
+		out[k] = e.value
+	}
+	return out
+}
+
 // Len returns the number of memoized entries.
 func (m *Memo[V]) Len() int {
 	m.mu.Lock()

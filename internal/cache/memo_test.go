@@ -79,3 +79,22 @@ func TestMemoConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestMemoEntries(t *testing.T) {
+	m := NewMemo[int](4)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	hits, misses := m.Counters()
+	got := m.Entries()
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Fatalf("entries = %v", got)
+	}
+	// Entries is a copy and touches no statistics.
+	got["a"] = 99
+	if v, _ := m.Peek("a"); v != 1 {
+		t.Fatalf("Entries aliases storage: %d", v)
+	}
+	if h2, m2 := m.Counters(); h2 != hits || m2 != misses {
+		t.Fatal("Entries moved the hit/miss counters")
+	}
+}

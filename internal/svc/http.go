@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"sigkern/internal/journal"
 	"sigkern/internal/report"
 	"sigkern/internal/resilience"
 )
@@ -20,6 +21,14 @@ const maxBodyBytes = 1 << 20
 
 // maxRequestTimeout clamps client-supplied ?timeout= values.
 const maxRequestTimeout = 10 * time.Minute
+
+// DefaultPageLimit and MaxPageLimit bound GET /v1/jobs pages: the
+// registry holds up to MaxJobs (4096 by default) jobs, far too many
+// for one unbounded response.
+const (
+	DefaultPageLimit = 256
+	MaxPageLimit     = 1000
+)
 
 // StatusClientClosedRequest is the nginx-convention 499 status used
 // when the client went away mid-request; Go's net/http cannot actually
@@ -81,7 +90,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = StatusClientClosedRequest
 	case errors.Is(err, ErrJobEvicted):
 		status = http.StatusGone
-	case errors.Is(err, ErrPoolClosed):
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, ErrDurability):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
@@ -131,7 +140,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.Admit(spec)
+	job, replayed, err := s.AdmitWithKey(r.Header.Get("Idempotency-Key"), spec)
+	if replayed {
+		// The key (or, on a durable service, the spec hash) is already
+		// bound to a job — typically a client retrying after a crash or
+		// timeout. Serve the original instead of duplicate work.
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
@@ -175,8 +190,37 @@ func wantWait(r *http.Request) bool {
 	return v == "1" || v == "true" || v == "yes"
 }
 
+// JobListPage is the GET /v1/jobs response: one page of jobs in
+// submission order plus the cursor for the next page.
+type JobListPage struct {
+	Jobs  []Job `json:"jobs"`
+	Count int   `json:"count"`
+	Total int   `json:"total"`
+	// NextAfter, when present, is the ?after= cursor for the next
+	// page; absent on the last page.
+	NextAfter string `json:"next_after,omitempty"`
+}
+
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	q := r.URL.Query()
+	limit := DefaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, httpError{http.StatusBadRequest, fmt.Sprintf("bad limit %q: want a positive integer", v)})
+			return
+		}
+		if n > MaxPageLimit {
+			n = MaxPageLimit
+		}
+		limit = n
+	}
+	jobs, next, total, err := s.JobsPage(q.Get("after"), limit)
+	if err != nil {
+		writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, JobListPage{Jobs: jobs, Count: len(jobs), Total: total, NextAfter: next})
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -229,7 +273,20 @@ type Health struct {
 	Breakers map[string]resilience.BreakerState `json:"breakers,omitempty"`
 	// Faults reports fired fault-injection counts when chaos is armed.
 	Faults map[string]uint64 `json:"faults_fired,omitempty"`
-	Time   string            `json:"time"`
+	// Journal reports the durability state when the service journals
+	// (nil otherwise): append lag, last-fsync age, truncated-frame
+	// counts, and what startup replay restored.
+	Journal *JournalHealth `json:"journal,omitempty"`
+	Time    string         `json:"time"`
+}
+
+// JournalHealth is the /healthz durability section.
+type JournalHealth struct {
+	journal.Stats
+	// AppendErrors counts lifecycle transitions the journal failed to
+	// persist; non-zero degrades the service.
+	AppendErrors uint64      `json:"append_errors"`
+	Replay       ReplayStats `json:"replay"`
 }
 
 // Healthz assembles the health snapshot: degraded when the queue is at
@@ -243,6 +300,16 @@ func (s *Service) Healthz() Health {
 		Breakers:   s.breakers.States(),
 		Faults:     s.pool.Faults().Snapshot(),
 		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if s.journal != nil {
+		h.Journal = &JournalHealth{
+			Stats:        s.journal.Stats(),
+			AppendErrors: s.Metrics().Snapshot().JournalAppendErrors,
+			Replay:       s.ReplayStats(),
+		}
+		if h.Journal.AppendErrors > 0 {
+			h.Degraded = true
+		}
 	}
 	if h.QueueCap > 0 && h.QueueDepth*5 >= h.QueueCap*4 {
 		h.Degraded = true
@@ -258,6 +325,14 @@ func (s *Service) Healthz() Health {
 	return h
 }
 
+// handleHealthz answers 200 when healthy and 503 when degraded — the
+// same JSON body either way — so load balancers acting on the status
+// code alone pull a degraded replica out of rotation.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Healthz())
+	h := s.Healthz()
+	status := http.StatusOK
+	if h.Degraded {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }

@@ -104,10 +104,12 @@ func TestHTTPShedsWith429WhenSaturated(t *testing.T) {
 		t.Fatalf("shed not metered: %+v", snap)
 	}
 
-	// The full queue degrades health (depth 1 of cap 1 is >= 80%).
+	// The full queue degrades health (depth 1 of cap 1 is >= 80%), and
+	// a degraded service answers 503 so load balancers can act on the
+	// status code alone.
 	var h Health
-	if resp := getJSON(t, srv.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
+	if resp := getJSON(t, srv.URL+"/healthz", &h); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d, want 503 while degraded", resp.StatusCode)
 	}
 	if !h.Degraded || h.Status != "degraded" || h.QueueDepth != 1 || h.QueueCap != 1 || h.Workers != 1 {
 		t.Fatalf("health under saturation: %+v", h)

@@ -92,8 +92,12 @@ type Job struct {
 	ID   string  `json:"id"`
 	Spec JobSpec `json:"spec"`
 	// Hash is the canonical spec hash (the memoization key).
-	Hash  string `json:"hash"`
-	State State  `json:"state"`
+	Hash string `json:"hash"`
+	// IdemKey is the idempotency key the job was admitted under (the
+	// Idempotency-Key header, or the spec hash when the service is
+	// durable): resubmitting it returns this job instead of new work.
+	IdemKey string `json:"idempotency_key,omitempty"`
+	State   State  `json:"state"`
 	// FromCache is true when the result was served from the memo table
 	// without running the simulator.
 	FromCache bool         `json:"from_cache,omitempty"`
@@ -102,6 +106,12 @@ type Job struct {
 	Submitted time.Time    `json:"submitted"`
 	Started   time.Time    `json:"started"`
 	Finished  time.Time    `json:"finished"`
+	// interrupted marks a job whose failure was the process shutting
+	// down (ErrPoolClosed), not the work itself: the durability layer
+	// journals no terminal state for it and snapshots it as still
+	// queued, so a restart re-enqueues it instead of replaying a
+	// failure the client never caused.
+	interrupted bool
 }
 
 // Latency returns the queue-to-finish duration for terminal jobs and 0

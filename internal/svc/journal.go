@@ -1,0 +1,397 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/journal"
+)
+
+// ErrDurability is returned by Submit/Admit when the service is
+// durable but the journal cannot persist the acceptance: accepting
+// work that would silently vanish in a crash defeats the point, so
+// the job is refused (503 upstairs) instead.
+var ErrDurability = errors.New("svc: durability journal unavailable")
+
+// eventType names one journaled job lifecycle transition.
+type eventType string
+
+const (
+	eventAccepted eventType = "accepted"
+	eventStarted  eventType = "started"
+	eventDone     eventType = "done"
+	eventFailed   eventType = "failed"
+	// eventAborted marks a job accepted and journaled but shed before
+	// any work happened (saturated queue): replay must forget it, the
+	// client was told 429.
+	eventAborted eventType = "aborted"
+	eventEvicted eventType = "evicted"
+)
+
+// jobEvent is the JSON payload of one write-ahead-log record.
+type jobEvent struct {
+	Type eventType `json:"type"`
+	ID   string    `json:"id"`
+	// Seq is the service's ID counter at acceptance, so a restart
+	// never reissues a live job ID.
+	Seq       uint64       `json:"seq,omitempty"`
+	IdemKey   string       `json:"idem,omitempty"`
+	Hash      string       `json:"hash,omitempty"`
+	Spec      *JobSpec     `json:"spec,omitempty"`
+	Result    *core.Result `json:"result,omitempty"`
+	FromCache bool         `json:"from_cache,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Time      time.Time    `json:"time"`
+}
+
+// serviceSnapshot is the compaction baseline serialized into the
+// journal's snapshot file: the registry in submission order, the
+// bounded eviction memory, and the memo table, at one instant.
+type serviceSnapshot struct {
+	Seq     uint64                 `json:"seq"`
+	Jobs    []Job                  `json:"jobs"`
+	Evicted []string               `json:"evicted,omitempty"`
+	Memo    map[string]core.Result `json:"memo,omitempty"`
+}
+
+// ReplayStats describes what a durable service restored at startup.
+type ReplayStats struct {
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// SnapshotCorrupt means a snapshot existed but failed its checksum
+	// or decode; recovery proceeded from the raw log instead.
+	SnapshotCorrupt bool `json:"snapshot_corrupt,omitempty"`
+	SegmentsRead    int  `json:"segments_read"`
+	RecordsApplied  int  `json:"records_applied"`
+	// BadRecords counts undecodable or unknown-typed records — skipped
+	// and surfaced, never fatal and never guessed at.
+	BadRecords int `json:"bad_records,omitempty"`
+	// JobsRestored jobs re-entered the registry; ResultsRestored
+	// terminal cycle counts were seeded back into the memo table;
+	// Requeued jobs were accepted before the crash but never reached a
+	// terminal state and are running again.
+	JobsRestored    int `json:"jobs_restored"`
+	ResultsRestored int `json:"results_restored"`
+	Requeued        int `json:"requeued"`
+	// Conflicts counts replayed results that disagreed with an
+	// already-seeded cycle count for the same spec hash — corruption
+	// surfaced by the determinism guard, first writer wins.
+	Conflicts int `json:"conflicts,omitempty"`
+	// Truncations/TruncatedBytes carry the journal's torn-tail
+	// recovery counts (frames cut at the first bad byte).
+	Truncations    uint64 `json:"truncations"`
+	TruncatedBytes uint64 `json:"truncated_bytes,omitempty"`
+}
+
+// OpenDurable opens (or creates) the write-ahead journal described by
+// jopts, replays it into a fresh service — terminal results back into
+// the memo table, accepted-but-unfinished jobs re-enqueued — and
+// returns the service with every subsequent lifecycle transition
+// journaled. Close drains the pool, folds the final state into a
+// snapshot, and compacts the journal, so a clean restart replays the
+// snapshot instead of the whole log.
+func OpenDurable(opts Options, jopts journal.Options) (*Service, error) {
+	j, rec, err := journal.Open(jopts)
+	if err != nil {
+		return nil, err
+	}
+	s := NewService(opts)
+	s.journal = j
+	s.replayRecovery(rec)
+	return s, nil
+}
+
+// Journal returns the service's write-ahead log (nil when the service
+// is not durable).
+func (s *Service) Journal() *journal.Journal { return s.journal }
+
+// ReplayStats returns what the service restored at startup (zero for
+// a non-durable service).
+func (s *Service) ReplayStats() ReplayStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replay
+}
+
+// Checkpoint folds the service's current state into a journal
+// snapshot and compacts the log. A no-op without a journal.
+func (s *Service) Checkpoint() error {
+	if s.journal == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.Marshal(s.snapshotLocked())
+	if err != nil {
+		return fmt.Errorf("svc: marshal snapshot: %w", err)
+	}
+	return s.journal.Compact(data)
+}
+
+// snapshotLocked captures the compaction baseline. Jobs whose failure
+// was the previous shutdown itself (interrupted) are persisted as
+// still queued: the next process re-enqueues them instead of
+// replaying a failure the client never caused.
+func (s *Service) snapshotLocked() serviceSnapshot {
+	snap := serviceSnapshot{Seq: s.seq, Memo: s.pool.MemoEntries()}
+	for _, id := range s.order {
+		cp := *s.jobs[id]
+		if cp.interrupted {
+			cp.State = Queued
+			cp.Error = ""
+			cp.Result = nil
+			cp.FromCache = false
+			cp.Started, cp.Finished = time.Time{}, time.Time{}
+			cp.interrupted = false
+		}
+		snap.Jobs = append(snap.Jobs, cp)
+	}
+	snap.Evicted = append([]string(nil), s.evictedOrder...)
+	return snap
+}
+
+// replayRecovery applies the journal's recovered state to a fresh
+// service: snapshot first, then the log records appended after it,
+// then re-enqueue of everything non-terminal. It never fails — bad
+// records are counted and skipped, conflicting results are refused by
+// the determinism-guarded memo seed and counted.
+func (s *Service) replayRecovery(rec *journal.Recovery) {
+	st := ReplayStats{
+		SnapshotLoaded:  rec.Stats.SnapshotLoaded,
+		SnapshotCorrupt: rec.Stats.SnapshotCorrupt,
+		SegmentsRead:    rec.Stats.SegmentsRead,
+		Truncations:     rec.Stats.Truncations,
+		TruncatedBytes:  rec.Stats.TruncatedBytes,
+	}
+	s.mu.Lock()
+	if rec.Snapshot != nil {
+		var snap serviceSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			st.SnapshotLoaded = false
+			st.SnapshotCorrupt = true
+		} else {
+			s.seq = snap.Seq
+			for i := range snap.Jobs {
+				cp := snap.Jobs[i]
+				s.jobs[cp.ID] = &cp
+				s.order = append(s.order, cp.ID)
+				if cp.IdemKey != "" {
+					s.idem[cp.IdemKey] = cp.ID
+				}
+				st.JobsRestored++
+			}
+			for _, id := range snap.Evicted {
+				s.evicted[id] = true
+				s.evictedOrder = append(s.evictedOrder, id)
+			}
+			for k, r := range snap.Memo {
+				if s.pool.SeedMemo(k, r) {
+					st.ResultsRestored++
+				} else {
+					st.Conflicts++
+				}
+			}
+		}
+	}
+	for _, raw := range rec.Records {
+		var ev jobEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			st.BadRecords++
+			continue
+		}
+		s.applyEventLocked(ev, &st)
+	}
+	// Everything accepted but never finished runs again. State resets
+	// to Queued here (under the lock) so a concurrent observer never
+	// sees a Running job with no worker behind it.
+	type requeue struct {
+		id   string
+		spec JobSpec
+		hash string
+	}
+	var rq []requeue
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if !j.State.Terminal() {
+			j.State = Queued
+			j.Started = time.Time{}
+			rq = append(rq, requeue{id: j.ID, spec: j.Spec, hash: j.Hash})
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range rq {
+		if err := s.enqueue(r.id, r.spec, r.hash); err != nil {
+			s.finish(r.id, core.Result{}, false, err)
+			continue
+		}
+		st.Requeued++
+	}
+	s.mu.Lock()
+	s.replay = st
+	s.mu.Unlock()
+}
+
+// applyEventLocked folds one log record into the registry.
+func (s *Service) applyEventLocked(ev jobEvent, st *ReplayStats) {
+	st.RecordsApplied++
+	switch ev.Type {
+	case eventAccepted:
+		if ev.ID == "" || ev.Spec == nil {
+			st.BadRecords++
+			return
+		}
+		if _, exists := s.jobs[ev.ID]; exists {
+			return // duplicate append (e.g. replayed twice); first wins
+		}
+		if ev.Seq > s.seq {
+			s.seq = ev.Seq
+		}
+		j := &Job{
+			ID:        ev.ID,
+			Spec:      *ev.Spec,
+			Hash:      ev.Hash,
+			IdemKey:   ev.IdemKey,
+			State:     Queued,
+			Submitted: ev.Time,
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if j.IdemKey != "" {
+			s.idem[j.IdemKey] = j.ID
+		}
+		st.JobsRestored++
+	case eventStarted:
+		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
+			j.State = Running
+			j.Started = ev.Time
+		}
+	case eventDone:
+		if ev.Result == nil {
+			st.BadRecords++
+			return
+		}
+		// Seed the memo even when the job itself is unknown (its
+		// acceptance may sit behind a truncated frame): the cycle
+		// count is still good and still saves a re-simulation.
+		if ev.Hash != "" {
+			if s.pool.SeedMemo(ev.Hash, *ev.Result) {
+				st.ResultsRestored++
+			} else {
+				st.Conflicts++
+			}
+		}
+		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
+			j.State = Done
+			j.Result = ev.Result
+			j.FromCache = ev.FromCache
+			j.Finished = ev.Time
+		}
+	case eventFailed:
+		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
+			j.State = Failed
+			j.Error = ev.Error
+			j.Finished = ev.Time
+		}
+	case eventAborted:
+		if j, ok := s.jobs[ev.ID]; ok {
+			delete(s.jobs, ev.ID)
+			if j.IdemKey != "" && s.idem[j.IdemKey] == ev.ID {
+				delete(s.idem, j.IdemKey)
+			}
+			s.removeFromOrderLocked(ev.ID)
+		}
+	case eventEvicted:
+		if j, ok := s.jobs[ev.ID]; ok {
+			delete(s.jobs, ev.ID)
+			if j.IdemKey != "" && s.idem[j.IdemKey] == ev.ID {
+				delete(s.idem, j.IdemKey)
+			}
+			s.removeFromOrderLocked(ev.ID)
+			s.evicted[ev.ID] = true
+			s.evictedOrder = append(s.evictedOrder, ev.ID)
+		}
+	default:
+		st.BadRecords++
+	}
+}
+
+// enqueue puts an already-registered job back onto the pool — the
+// replay path for jobs accepted before a crash. Blocking submission:
+// at startup the queue is empty and backpressure is the right answer.
+func (s *Service) enqueue(id string, spec JobSpec, hash string) error {
+	task := Task{
+		Label:   fmt.Sprintf("%s/%s", spec.Machine, spec.Kernel),
+		MemoKey: hash,
+		Run: func(context.Context) (core.Result, error) {
+			s.markRunning(id)
+			return runSpec(s.factory, spec)
+		},
+	}
+	fut, err := s.pool.Submit(task)
+	if err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		res, werr := fut.Wait(context.Background())
+		s.finish(id, res, fut.FromCache(), werr)
+	}()
+	return nil
+}
+
+// journalAcceptedLocked makes a job's acceptance durable before the
+// client hears about it. Unlike later transitions, a failure here
+// refuses the job: a durable service must not accept work it cannot
+// promise to remember.
+func (s *Service) journalAcceptedLocked(j *Job) error {
+	if s.journal == nil {
+		return nil
+	}
+	ev := jobEvent{
+		Type:    eventAccepted,
+		ID:      j.ID,
+		Seq:     s.seq,
+		IdemKey: j.IdemKey,
+		Hash:    j.Hash,
+		Spec:    &j.Spec,
+		Time:    j.Submitted,
+	}
+	if err := s.appendEvent(ev); err != nil {
+		s.Metrics().journalAppendError()
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// journalEventLocked appends a post-acceptance transition. Failures
+// are counted (and degrade /healthz) but do not fail the job: the
+// in-memory state is still correct and still served.
+func (s *Service) journalEventLocked(t eventType, j *Job) {
+	if s.journal == nil {
+		return
+	}
+	ev := jobEvent{Type: t, ID: j.ID, Time: time.Now()}
+	switch t {
+	case eventDone:
+		ev.Hash = j.Hash
+		ev.Result = j.Result
+		ev.FromCache = j.FromCache
+	case eventFailed:
+		ev.Error = j.Error
+	}
+	if err := s.appendEvent(ev); err != nil {
+		s.Metrics().journalAppendError()
+	}
+}
+
+func (s *Service) appendEvent(ev jobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	return s.journal.Append(data)
+}

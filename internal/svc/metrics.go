@@ -31,6 +31,7 @@ type Metrics struct {
 	determinism  uint64
 	shed         uint64
 	breakerDrops uint64
+	journalErrs  uint64
 	latencies    []time.Duration
 	next         int
 	filled       bool
@@ -128,6 +129,14 @@ func (m *Metrics) breakerRejected() {
 	m.mu.Unlock()
 }
 
+// journalAppendError records a lifecycle transition the durability
+// journal failed to persist.
+func (m *Metrics) journalAppendError() {
+	m.mu.Lock()
+	m.journalErrs++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Queued       uint64  `json:"jobs_queued"`
@@ -148,6 +157,10 @@ type Snapshot struct {
 	Determinism     uint64 `json:"determinism_violations"`
 	Shed            uint64 `json:"jobs_shed"`
 	BreakerRejected uint64 `json:"breaker_rejected"`
+	// JournalAppendErrors counts job lifecycle transitions the
+	// durability journal failed to persist (disk trouble; the health
+	// endpoint degrades while it is non-zero).
+	JournalAppendErrors uint64 `json:"journal_append_errors"`
 	// P50 and P99 are latency quantiles over the most recent terminal
 	// jobs (a rolling window), in seconds.
 	P50Seconds float64 `json:"latency_p50_seconds"`
@@ -174,6 +187,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Determinism:     m.determinism,
 		Shed:            m.shed,
 		BreakerRejected: m.breakerDrops,
+
+		JournalAppendErrors: m.journalErrs,
 	}
 	if probes := m.cacheHits + m.cacheMisses; probes > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(probes)
@@ -225,6 +240,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		{"simserved_determinism_violations_total", fmt.Sprintf("%d", s.Determinism)},
 		{"simserved_jobs_shed_total", fmt.Sprintf("%d", s.Shed)},
 		{"simserved_breaker_rejected_total", fmt.Sprintf("%d", s.BreakerRejected)},
+		{"simserved_journal_append_errors_total", fmt.Sprintf("%d", s.JournalAppendErrors)},
 		{"simserved_job_latency_p50_seconds", fmt.Sprintf("%.6f", s.P50Seconds)},
 		{"simserved_job_latency_p99_seconds", fmt.Sprintf("%.6f", s.P99Seconds)},
 		{"simserved_job_latency_samples", fmt.Sprintf("%d", s.Samples)},

@@ -199,6 +199,33 @@ func (p *Pool) QueueCap() int { return cap(p.tasks) }
 // when chaos is off).
 func (p *Pool) Faults() *faults.Registry { return p.faults }
 
+// SeedMemo pre-populates the memo table with a known-good result —
+// the journal-replay path restoring terminal cycle counts after a
+// restart. It reports false (and stores nothing) when an entry with a
+// different cycle count is already present: the simulators are
+// deterministic, so a conflicting seed is corruption and the caller
+// must count it rather than overwrite the truth.
+func (p *Pool) SeedMemo(key string, r core.Result) bool {
+	if p.memo == nil || key == "" {
+		return true
+	}
+	if prev, ok := p.memo.Peek(key); ok && prev.Cycles != r.Cycles {
+		return false
+	}
+	p.memo.Put(key, r)
+	return true
+}
+
+// MemoEntries returns a copy of the memo table (nil when memoization
+// is disabled) — the state the durability layer folds into journal
+// snapshots.
+func (p *Pool) MemoEntries() map[string]core.Result {
+	if p.memo == nil {
+		return nil
+	}
+	return p.memo.Entries()
+}
+
 // MemoHitRate returns the memo table's hit rate (0 when disabled).
 func (p *Pool) MemoHitRate() float64 {
 	if p.memo == nil {

@@ -9,6 +9,7 @@ import (
 
 	"sigkern/internal/core"
 	"sigkern/internal/faults"
+	"sigkern/internal/journal"
 	"sigkern/internal/machines"
 	"sigkern/internal/resilience"
 )
@@ -44,6 +45,13 @@ type Service struct {
 	factory  MachineFactory
 	maxJobs  int
 	breakers *resilience.BreakerSet
+	// journal, when set, is the write-ahead log every job lifecycle
+	// transition is appended to (see OpenDurable); nil means the
+	// registry is memory-only, the pre-durability behavior.
+	journal *journal.Journal
+	// wg tracks the per-job completion goroutines so Close can drain
+	// them before snapshotting final state.
+	wg sync.WaitGroup
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -52,7 +60,11 @@ type Service struct {
 	// can report eviction distinctly from never-issued IDs.
 	evicted      map[string]bool
 	evictedOrder []string
-	seq          uint64
+	// idem maps idempotency keys to live job IDs: resubmitting a key
+	// returns the original job instead of duplicate work.
+	idem   map[string]string
+	seq    uint64
+	replay ReplayStats
 }
 
 // NewService starts a service and its pool.
@@ -73,6 +85,7 @@ func NewService(opts Options) *Service {
 		breakers: resilience.NewBreakerSet(opts.Breaker),
 		jobs:     make(map[string]*Job),
 		evicted:  make(map[string]bool),
+		idem:     make(map[string]string),
 	}
 }
 
@@ -85,51 +98,118 @@ func (s *Service) Metrics() *Metrics { return s.pool.Metrics() }
 // Breakers returns the per-machine circuit breakers.
 func (s *Service) Breakers() *resilience.BreakerSet { return s.breakers }
 
-// Close shuts the pool down after draining running jobs.
-func (s *Service) Close() { s.pool.Close() }
+// Close shuts the pool down after draining running jobs. A durable
+// service then folds its final state — including jobs the shutdown
+// interrupted, persisted as still queued — into a journal snapshot,
+// compacts, and closes the journal, so the next OpenDurable restores
+// from the snapshot and re-enqueues the interrupted work.
+func (s *Service) Close() {
+	s.pool.Close()
+	s.wg.Wait()
+	if s.journal != nil {
+		_ = s.Checkpoint()
+		_ = s.journal.Close()
+	}
+}
 
 // Submit normalizes, registers, and enqueues one job, returning a
 // snapshot of its initial state. Cache hits come back already Done.
 // Submit blocks for a queue slot when the pool is saturated
 // (backpressure); batch drivers want that.
-func (s *Service) Submit(spec JobSpec) (Job, error) { return s.submit(spec, true) }
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	j, _, err := s.submit("", spec, true)
+	return j, err
+}
 
 // Admit is Submit with load shedding instead of backpressure: when
 // every worker is busy and the queue is full the job is refused with
 // ErrOverloaded (HTTP 429 upstairs), and when the machine's circuit
 // breaker is open it is refused with resilience.ErrBreakerOpen (503).
 // The serving layer uses Admit so saturation never queues unboundedly.
-func (s *Service) Admit(spec JobSpec) (Job, error) { return s.submit(spec, false) }
+func (s *Service) Admit(spec JobSpec) (Job, error) {
+	j, _, err := s.submit("", spec, false)
+	return j, err
+}
 
-func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
+// AdmitWithKey is Admit under an idempotency key: when the key is
+// already bound to a live job — including one restored by journal
+// replay after a crash — that job's snapshot is returned (replayed =
+// true) instead of duplicate work. An empty key falls back to the
+// canonical spec hash on a durable service, so a blind client retry
+// of the same spec after a crash finds its original job; without a
+// journal an empty key means no deduplication, preserving the
+// one-job-per-submit behavior batch drivers rely on.
+func (s *Service) AdmitWithKey(key string, spec JobSpec) (job Job, replayed bool, err error) {
+	return s.submit(key, spec, false)
+}
+
+func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
-		return Job{}, err
+		return Job{}, false, err
 	}
 	hash, err := norm.Hash()
 	if err != nil {
-		return Job{}, err
+		return Job{}, false, err
+	}
+	key := idemKey
+	if key == "" && s.journal != nil {
+		key = hash
 	}
 
 	breaker := s.breakers.Get(norm.Machine)
 	if !block {
 		if err := breaker.Allow(); err != nil {
 			s.pool.Metrics().breakerRejected()
-			return Job{}, fmt.Errorf("svc: machine %s: %w", norm.Machine, err)
+			return Job{}, false, fmt.Errorf("svc: machine %s: %w", norm.Machine, err)
 		}
 	}
 
 	s.mu.Lock()
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			if j, live := s.jobs[id]; live {
+				cp := *j
+				s.mu.Unlock()
+				if !block {
+					// The admitted slot was never used: an idempotent
+					// replay exercises no backend.
+					breaker.Cancel()
+				}
+				return cp, true, nil
+			}
+			delete(s.idem, key) // bound to an evicted job; issue fresh work
+		}
+	}
 	s.seq++
 	job := &Job{
 		ID:        fmt.Sprintf("j%06d-%s", s.seq, hash[:8]),
 		Spec:      norm,
 		Hash:      hash,
+		IdemKey:   key,
 		State:     Queued,
 		Submitted: time.Now(),
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	if key != "" {
+		s.idem[key] = job.ID
+	}
+	// Acceptance is journaled before the client hears about the job;
+	// if the journal cannot persist it, the job is refused — a durable
+	// service must not accept work it cannot promise to remember.
+	if jerr := s.journalAcceptedLocked(job); jerr != nil {
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		if key != "" {
+			delete(s.idem, key)
+		}
+		s.mu.Unlock()
+		if !block {
+			breaker.Cancel()
+		}
+		return Job{}, false, jerr
+	}
 	s.evictLocked()
 	s.mu.Unlock()
 
@@ -155,12 +235,14 @@ func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
 			// wedge a half-open breaker until restart.
 			breaker.Cancel()
 			s.drop(job.ID)
-			return Job{}, err
+			return Job{}, false, err
 		}
 		s.finish(job.ID, core.Result{}, false, err)
-		return s.snapshot(job.ID), err
+		return s.snapshot(job.ID), false, err
 	}
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		res, werr := fut.Wait(context.Background())
 		if !block {
 			// Pair the Allow above with exactly one outcome report: a
@@ -174,18 +256,33 @@ func (s *Service) submit(spec JobSpec, block bool) (Job, error) {
 		}
 		s.finish(job.ID, res, fut.FromCache(), werr)
 	}()
-	return s.snapshot(job.ID), nil
+	return s.snapshot(job.ID), false, nil
 }
 
-// drop removes an unstarted job that was shed at admission.
+// drop removes an unstarted job that was shed at admission, telling
+// the journal to forget it too (the client was told 429, so replaying
+// it after a crash would be duplicate work nobody asked for).
 func (s *Service) drop(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
 	delete(s.jobs, id)
+	if j.IdemKey != "" && s.idem[j.IdemKey] == id {
+		delete(s.idem, j.IdemKey)
+	}
+	s.removeFromOrderLocked(id)
+	s.journalEventLocked(eventAborted, j)
+}
+
+// removeFromOrderLocked drops one ID from the submission-order slice.
+func (s *Service) removeFromOrderLocked(id string) {
 	for i, jid := range s.order {
 		if jid == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
+			return
 		}
 	}
 }
@@ -212,6 +309,48 @@ func (s *Service) Jobs() []Job {
 		}
 	}
 	return out
+}
+
+// JobsPage returns up to limit jobs in submission order, starting
+// just after the job with ID after (empty starts from the oldest).
+// next is the cursor for the following page ("" when this page ends
+// the list) and total the registry size. An unknown cursor — e.g. one
+// whose job has since been evicted — is an error so clients restart
+// their scan instead of silently skipping a gap.
+func (s *Service) JobsPage(after string, limit int) (jobs []Job, next string, total int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total = len(s.order)
+	start := 0
+	if after != "" {
+		found := false
+		for i, id := range s.order {
+			if id == after {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			return nil, "", total, fmt.Errorf("svc: unknown cursor %q", after)
+		}
+	}
+	if limit <= 0 {
+		limit = DefaultPageLimit
+	}
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	jobs = make([]Job, 0, end-start)
+	for _, id := range s.order[start:end] {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, *j)
+		}
+	}
+	if end < total && len(jobs) > 0 {
+		next = jobs[len(jobs)-1].ID
+	}
+	return jobs, next, total, nil
 }
 
 // wasEvicted reports whether id was dropped by terminal-job eviction.
@@ -254,6 +393,7 @@ func (s *Service) markRunning(id string) {
 	if j, ok := s.jobs[id]; ok && j.State == Queued {
 		j.State = Running
 		j.Started = time.Now()
+		s.journalEventLocked(eventStarted, j)
 	}
 }
 
@@ -269,11 +409,19 @@ func (s *Service) finish(id string, res core.Result, fromCache bool, err error) 
 	if err != nil {
 		j.State = Failed
 		j.Error = err.Error()
+		if errors.Is(err, ErrPoolClosed) {
+			// The shutdown, not the work, failed this job: journal no
+			// terminal state so a restart re-enqueues it.
+			j.interrupted = true
+			return
+		}
+		s.journalEventLocked(eventFailed, j)
 		return
 	}
 	j.State = Done
 	r := res
 	j.Result = &r
+	s.journalEventLocked(eventDone, j)
 }
 
 func (s *Service) snapshot(id string) Job {
@@ -298,8 +446,12 @@ func (s *Service) evictLocked() {
 		j := s.jobs[id]
 		if excess > 0 && j != nil && j.State.Terminal() {
 			delete(s.jobs, id)
+			if j.IdemKey != "" && s.idem[j.IdemKey] == id {
+				delete(s.idem, j.IdemKey)
+			}
 			s.evicted[id] = true
 			s.evictedOrder = append(s.evictedOrder, id)
+			s.journalEventLocked(eventEvicted, j)
 			excess--
 			continue
 		}
