@@ -11,6 +11,9 @@
 package sigkern
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"sigkern/internal/core"
@@ -26,6 +29,7 @@ import (
 	"sigkern/internal/perfmodel"
 	"sigkern/internal/ppc"
 	"sigkern/internal/rawsim"
+	"sigkern/internal/svc"
 	"sigkern/internal/viram"
 )
 
@@ -521,6 +525,166 @@ func BenchmarkExtensionPipeline(b *testing.B) {
 	}
 	b.ReportMetric(r.KCycles(), "sim-kcycles")
 	b.ReportMetric(r.OpsPerCycle(), "sim-ops/cycle")
+}
+
+// --- Service throughput ----------------------------------------------------
+
+// stubMachine is a core.Machine whose kernels complete instantly with a
+// fixed cycle count, so the service-throughput benchmarks measure the
+// service layer itself (hashing, memoization, coalescing, queueing)
+// rather than simulator time.
+type stubMachine struct{ name string }
+
+func (s stubMachine) Name() string        { return s.name }
+func (s stubMachine) Params() core.Params { return core.Params{ClockMHz: 1} }
+func (s stubMachine) RunCornerTurn(cornerturn.Spec) (core.Result, error) {
+	return core.Result{Machine: s.name, Kernel: core.CornerTurn, Cycles: 4242, Verified: true}, nil
+}
+func (s stubMachine) RunCSLC(cslc.Spec) (core.Result, error) {
+	return core.Result{Machine: s.name, Kernel: core.CSLC, Cycles: 4242, Verified: true}, nil
+}
+func (s stubMachine) RunBeamSteering(beamsteer.Spec) (core.Result, error) {
+	return core.Result{Machine: s.name, Kernel: core.BeamSteering, Cycles: 4242, Verified: true}, nil
+}
+
+// BenchmarkServiceThroughput measures the three hot paths of the
+// simulation service: memo hits (the sharded table is the contended
+// structure, so ops/sec should scale with GOMAXPROCS), in-flight
+// coalescing (attaching to a running execution), and cold submissions
+// (the full queue/worker/memo-store lifecycle on a stub backend).
+func BenchmarkServiceThroughput(b *testing.B) {
+	newPool := func() *svc.Pool {
+		return svc.NewPool(svc.PoolOptions{
+			Workers:      runtime.GOMAXPROCS(0),
+			QueueDepth:   4096,
+			MemoCapacity: 4096,
+		})
+	}
+	stubTask := func(key string) svc.Task {
+		return svc.Task{
+			Label:   "stub",
+			MemoKey: key,
+			Run: func(context.Context) (core.Result, error) {
+				return core.Result{Machine: "stub", Kernel: core.CornerTurn, Cycles: 4242, Verified: true}, nil
+			},
+		}
+	}
+	ctx := context.Background()
+
+	b.Run("cache-hit", func(b *testing.B) {
+		p := newPool()
+		defer p.Close()
+		keys := make([]string, 64)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%02d", i)
+			fut, err := p.Submit(stubTask(keys[i]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fut.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				fut, err := p.Submit(stubTask(keys[i%len(keys)]))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := fut.Wait(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		p := newPool()
+		defer p.Close()
+		release := make(chan struct{})
+		lead, err := p.Submit(svc.Task{
+			Label:   "leader",
+			MemoKey: "shared",
+			Run: func(context.Context) (core.Result, error) {
+				<-release
+				return core.Result{Cycles: 7, Verified: true}, nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := p.Submit(stubTask("shared"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f != lead {
+				b.Fatal("submission did not coalesce onto the leader")
+			}
+		}
+		b.StopTimer()
+		close(release)
+		if _, err := lead.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		p := newPool()
+		defer p.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fut, err := p.Submit(stubTask(fmt.Sprintf("cold-%d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fut.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The same memo-hit path end to end through svc.Service: spec
+	// normalization, canonical hashing, and job registration on top of
+	// the pool hit.
+	b.Run("service-cache-hit", func(b *testing.B) {
+		s := svc.NewService(svc.Options{
+			Pool:    svc.PoolOptions{Workers: runtime.GOMAXPROCS(0), QueueDepth: 4096, MemoCapacity: 4096},
+			Factory: func(name string) (core.Machine, error) { return stubMachine{name: name}, nil },
+			// Keep the registry small: every submit registers a job, and
+			// eviction scans the registry, so a large MaxJobs would measure
+			// registry bookkeeping instead of the memo-hit path.
+			MaxJobs: 64,
+		})
+		defer s.Close()
+		spec := svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn}
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Wait(ctx, j.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Submit(spec); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkAblationVIRAMCornerTurnFormulation: strided loads + padding

@@ -57,13 +57,15 @@ type daemon struct {
 // startDaemon launches the binary against the given journal directory
 // on an ephemeral port (discovered via -addrfile) and waits until
 // /healthz answers.
-func startDaemon(t *testing.T, bin, journalDir string) *daemon {
+func startDaemon(t *testing.T, bin, journalDir string, extraArgs ...string) *daemon {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0", "-addrfile", addrFile,
 		"-journal", journalDir, "-fsync", "always",
-		"-workers", "2", "-queue", "64", "-timeout", "1m", "-drain", "20s")
+		"-workers", "2", "-queue", "64", "-timeout", "1m", "-drain", "20s"}
+	args = append(args, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	cmd.Env = append(os.Environ(), e2eChaos...)
 	var logs bytes.Buffer
 	cmd.Stdout = &logs
@@ -266,4 +268,32 @@ func TestE2EKillRestartDurability(t *testing.T) {
 		}
 	}
 	d3.terminate()
+}
+
+// TestE2EPprofFlag proves the profiling endpoints are served only when
+// the operator opts in with -pprof.
+func TestE2EPprofFlag(t *testing.T) {
+	bin := buildDaemon(t)
+
+	d := startDaemon(t, bin, t.TempDir(), "-pprof")
+	resp, err := http.Get(d.url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with -pprof: status %d, want 200", resp.StatusCode)
+	}
+	d.terminate()
+
+	d = startDaemon(t, bin, t.TempDir())
+	resp, err = http.Get(d.url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/pprof/ served without -pprof; profiling must be opt-in")
+	}
+	d.terminate()
 }

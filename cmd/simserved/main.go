@@ -17,6 +17,7 @@
 //	GET  /metrics        flat-text metrics
 //	GET  /healthz        queue depth, breaker states, journal lag; 200 when
 //	                     healthy, 503 when degraded
+//	GET  /debug/pprof/   Go profiling endpoints (only with -pprof)
 //
 // Admission control: the job queue is bounded (-queue); once it fills,
 // submissions are shed with 429 and a Retry-After estimate instead of
@@ -49,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,6 +75,7 @@ func main() {
 	journalDir := flag.String("journal", "", "journal job lifecycle to this directory (empty disables durability)")
 	fsync := flag.String("fsync", "always", "journal flush policy: always, interval, or never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence when -fsync=interval")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default; exposes runtime internals)")
 	flag.Parse()
 
 	cfg := daemonConfig{
@@ -81,6 +84,7 @@ func main() {
 		timeout: *timeout, drain: *drain,
 		configPath: *configPath,
 		journalDir: *journalDir, fsync: *fsync, fsyncEvery: *fsyncEvery,
+		pprof: *pprofOn,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
@@ -99,6 +103,7 @@ type daemonConfig struct {
 	journalDir     string
 	fsync          string
 	fsyncEvery     time.Duration
+	pprof          bool
 }
 
 func run(cfg daemonConfig) error {
@@ -152,8 +157,23 @@ func run(cfg daemonConfig) error {
 		}
 	}
 
+	handler := service.Handler()
+	if cfg.pprof {
+		// Opt-in profiling: mount the pprof handlers in front of the
+		// service mux. Off by default — the endpoints expose heap and
+		// goroutine internals, so operators enable them deliberately.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("simserved: pprof enabled at /debug/pprof/")
+	}
 	server := &http.Server{
-		Handler:           service.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

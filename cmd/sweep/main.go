@@ -148,10 +148,12 @@ func render(title, axis string, pts []study.Point) error {
 		return fmt.Errorf("empty sweep")
 	}
 	names := study.MachineColumns(pts)
-	headers := append([]string{axis}, names...)
-	var rows [][]string
+	headers := make([]string, 0, 1+len(names))
+	headers = append(append(headers, axis), names...)
+	rows := make([][]string, 0, len(pts))
 	for _, p := range pts {
-		row := []string{p.Label}
+		row := make([]string, 0, 1+len(names))
+		row = append(row, p.Label)
 		for _, name := range names {
 			row = append(row, report.KCycles(p.Cycles[name]))
 		}

@@ -108,12 +108,22 @@ func New(cfg Config, lower Level) *Cache {
 	return c
 }
 
-// Reset invalidates every line and clears statistics.
+// Reset invalidates every line and clears statistics. The set arrays
+// are allocated once (over a single flat backing slice) and zeroed on
+// later resets: the simulators reset between every kernel run, and the
+// PPC hierarchy alone holds over a thousand sets.
 func (c *Cache) Reset() {
 	nsets := c.cfg.SizeBytes / (c.cfg.LineBytes * c.cfg.Assoc)
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, c.cfg.Assoc)
+	if len(c.sets) != nsets {
+		backing := make([]line, nsets*c.cfg.Assoc)
+		c.sets = make([][]line, nsets)
+		for i := range c.sets {
+			c.sets[i] = backing[i*c.cfg.Assoc : (i+1)*c.cfg.Assoc : (i+1)*c.cfg.Assoc]
+		}
+	} else {
+		for i := range c.sets {
+			clear(c.sets[i])
+		}
 	}
 	c.tick = 0
 	c.stats = sim.Stats{}

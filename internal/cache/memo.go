@@ -1,6 +1,19 @@
 package cache
 
-import "sync"
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Sharding bounds: a memo splits into power-of-two shards only while
+// each shard keeps at least minShardCapacity entries of its own, so
+// small tables (including the 64-entry default) stay a single shard
+// with exact global LRU order, while service-sized tables (1024+)
+// fan out across up to maxMemoShards independently locked shards.
+const (
+	minShardCapacity = 64
+	maxMemoShards    = 16
+)
 
 // Memo is a bounded, concurrency-safe memoization table with LRU
 // eviction — the software analogue of the hardware caches this package
@@ -10,8 +23,19 @@ import "sync"
 // the caller stores (simulation results).
 //
 // Unlike Cache, Memo is safe for concurrent use: the service's worker
-// pool probes and fills it from many goroutines.
+// pool probes and fills it from many goroutines. To keep those probes
+// from serializing on one lock, the table is split into power-of-two
+// shards selected by a maphash of the key; each shard holds its own
+// mutex, map, and LRU clock. Eviction is LRU within a shard (an
+// approximation of global LRU, exact when the table is small enough
+// for a single shard), and statistics aggregate across shards.
 type Memo[V any] struct {
+	seed   maphash.Seed
+	shards []memoShard[V]
+	mask   uint64
+}
+
+type memoShard[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[string]*memoEntry[V]
@@ -22,11 +46,25 @@ type Memo[V any] struct {
 	// fault-injection hook chaos runs use to prove the service's
 	// determinism guard catches a lying cache. See SetCorruptor.
 	corrupt func(key string, value V) (V, bool)
+
+	// Pad shards out to their own cache lines so two shards' mutexes
+	// never share one and ping-pong under contention.
+	_ [64]byte
 }
 
 type memoEntry[V any] struct {
 	value V
 	used  uint64 // LRU timestamp, same scheme as Cache lines
+}
+
+// shardCountFor picks the largest power-of-two shard count (capped at
+// maxMemoShards) that still leaves every shard minShardCapacity slots.
+func shardCountFor(capacity int) int {
+	n := 1
+	for n < maxMemoShards && capacity/(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	return n
 }
 
 // NewMemo returns a memo table holding at most capacity entries; a
@@ -35,31 +73,57 @@ func NewMemo[V any](capacity int) *Memo[V] {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &Memo[V]{
-		capacity: capacity,
-		entries:  make(map[string]*memoEntry[V]),
+	n := shardCountFor(capacity)
+	m := &Memo[V]{
+		seed:   maphash.MakeSeed(),
+		shards: make([]memoShard[V], n),
+		mask:   uint64(n - 1),
 	}
+	for i := range m.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		m.shards[i] = memoShard[V]{
+			capacity: c,
+			entries:  make(map[string]*memoEntry[V]),
+		}
+	}
+	return m
 }
+
+// shard routes a key to its shard by maphash.
+func (m *Memo[V]) shard(key string) *memoShard[V] {
+	if m.mask == 0 {
+		return &m.shards[0]
+	}
+	return &m.shards[maphash.String(m.seed, key)&m.mask]
+}
+
+// ShardCount reports how many independently locked shards the table
+// uses (1 for small capacities, where LRU order is exact and global).
+func (m *Memo[V]) ShardCount() int { return len(m.shards) }
 
 // Get returns the memoized value for key and whether it was present,
 // updating hit/miss statistics and recency. When a corruptor is
 // installed (fault injection), the returned value may be damaged; the
 // stored entry is never modified, so Peek still sees the truth.
 func (m *Memo[V]) Get(key string) (V, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tick++
-	if e, ok := m.entries[key]; ok {
-		e.used = m.tick
-		m.hits++
-		if m.corrupt != nil {
-			if v, corrupted := m.corrupt(key, e.value); corrupted {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	if e, ok := s.entries[key]; ok {
+		e.used = s.tick
+		s.hits++
+		if s.corrupt != nil {
+			if v, corrupted := s.corrupt(key, e.value); corrupted {
 				return v, true
 			}
 		}
 		return e.value, true
 	}
-	m.misses++
+	s.misses++
 	var zero V
 	return zero, false
 }
@@ -68,9 +132,10 @@ func (m *Memo[V]) Get(key string) (V, bool) {
 // recency, or the corruption hook — the read the service's determinism
 // guard compares served results against.
 func (m *Memo[V]) Peek(key string) (V, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e, ok := m.entries[key]; ok {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
 		return e.value, true
 	}
 	var zero V
@@ -82,34 +147,38 @@ func (m *Memo[V]) Peek(key string) (V, bool) {
 // served in place of the stored one. Production code never installs
 // one; chaos runs use it to model a corrupted cache line.
 func (m *Memo[V]) SetCorruptor(f func(key string, value V) (V, bool)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.corrupt = f
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.corrupt = f
+		s.mu.Unlock()
+	}
 }
 
 // Put stores value under key, evicting the least recently used entry
-// when the table is full.
+// in the key's shard when that shard is full.
 func (m *Memo[V]) Put(key string, value V) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tick++
-	if e, ok := m.entries[key]; ok {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	if e, ok := s.entries[key]; ok {
 		e.value = value
-		e.used = m.tick
+		e.used = s.tick
 		return
 	}
-	if len(m.entries) >= m.capacity {
+	if len(s.entries) >= s.capacity {
 		var victim string
 		var oldest uint64
 		first := true
-		for k, e := range m.entries {
+		for k, e := range s.entries {
 			if first || e.used < oldest {
 				victim, oldest, first = k, e.used, false
 			}
 		}
-		delete(m.entries, victim)
+		delete(s.entries, victim)
 	}
-	m.entries[key] = &memoEntry[V]{value: value, used: m.tick}
+	s.entries[key] = &memoEntry[V]{value: value, used: s.tick}
 }
 
 // Entries returns a copy of the table's current contents, keyed as
@@ -117,20 +186,28 @@ func (m *Memo[V]) Put(key string, value V) {
 // into its journal snapshot so memoized results survive a restart;
 // reading it touches neither statistics nor recency.
 func (m *Memo[V]) Entries() map[string]V {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]V, len(m.entries))
-	for k, e := range m.entries {
-		out[k] = e.value
+	out := make(map[string]V, m.Len())
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			out[k] = e.value
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Len returns the number of memoized entries.
 func (m *Memo[V]) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.entries)
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // HitRate returns hits / (hits + misses), or 0 when the table has never
@@ -143,9 +220,15 @@ func (m *Memo[V]) HitRate() float64 {
 	return float64(h) / float64(h+mi)
 }
 
-// Counters returns the cumulative hit and miss counts.
+// Counters returns the cumulative hit and miss counts, aggregated
+// across shards.
 func (m *Memo[V]) Counters() (hits, misses uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.misses
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }

@@ -80,6 +80,122 @@ func TestMemoConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+func TestMemoShardCount(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{1, 1}, {2, 1}, {64, 1}, {127, 1},
+		{128, 2}, {256, 4}, {512, 8}, {1024, 16},
+		{4096, 16}, // capped at maxMemoShards
+	}
+	for _, c := range cases {
+		if got := NewMemo[int](c.capacity).ShardCount(); got != c.want {
+			t.Errorf("capacity %d: %d shards, want %d", c.capacity, got, c.want)
+		}
+	}
+}
+
+// TestMemoShardedCapacity proves sharding preserves the total bound:
+// per-shard LRU eviction may reorder victims, but the table never holds
+// more than capacity entries, and heavily reused keys survive.
+func TestMemoShardedCapacity(t *testing.T) {
+	const capacity = 256
+	m := NewMemo[int](capacity)
+	if m.ShardCount() < 2 {
+		t.Fatalf("want a sharded table, got %d shard(s)", m.ShardCount())
+	}
+	for i := 0; i < 4*capacity; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if n := m.Len(); n > capacity {
+		t.Fatalf("len %d exceeds capacity %d", n, capacity)
+	}
+	// Every shard fills to its own bound, so the aggregate sits near
+	// capacity (exact when keys spread; allow the hash some slack).
+	if n := m.Len(); n < capacity/2 {
+		t.Fatalf("len %d, want near %d", n, capacity)
+	}
+}
+
+// TestMemoShardedEviction checks per-shard LRU: a key probed right
+// before its shard overflows outlives colder keys in the same shard.
+func TestMemoShardedEviction(t *testing.T) {
+	m := NewMemo[int](128)
+	keys := make([]string, 0, 512)
+	for i := 0; i < 512; i++ {
+		keys = append(keys, fmt.Sprintf("k%d", i))
+	}
+	for i, k := range keys[:64] {
+		m.Put(k, i)
+	}
+	hot := keys[0]
+	for i, k := range keys[64:] {
+		m.Get(hot) // refresh recency every step
+		m.Put(k, 64+i)
+	}
+	if _, ok := m.Peek(hot); !ok {
+		t.Fatal("constantly refreshed key was evicted")
+	}
+}
+
+// TestMemoShardedConcurrent hammers a multi-shard memo from many
+// goroutines — under -race this is the check that per-shard locking
+// still covers every path (Get/Put/Peek/Entries/Counters/Len).
+func TestMemoShardedConcurrent(t *testing.T) {
+	m := NewMemo[uint64](1024)
+	if m.ShardCount() < 2 {
+		t.Fatalf("want a sharded table, got %d shard(s)", m.ShardCount())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%200)
+				if v, ok := m.Get(key); ok && v != uint64(i%200) {
+					t.Errorf("key %s holds %d", key, v)
+				}
+				m.Put(key, uint64(i%200))
+				switch i % 100 {
+				case 17:
+					m.Entries()
+				case 53:
+					m.Counters()
+				case 89:
+					m.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hits, misses := m.Counters(); hits+misses != 16*500 {
+		t.Fatalf("counters %d+%d, want %d probes", hits, misses, 16*500)
+	}
+}
+
+// TestMemoShardedCorruptor proves SetCorruptor reaches every shard:
+// keys hash across all of them, and each corrupted Get serves the
+// damaged value while Peek still sees the truth.
+func TestMemoShardedCorruptor(t *testing.T) {
+	m := NewMemo[int](1024)
+	for i := 0; i < 64; i++ {
+		m.Put(fmt.Sprintf("k%d", i), i)
+	}
+	m.SetCorruptor(func(key string, v int) (int, bool) { return -v, true })
+	for i := 1; i < 64; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, _ := m.Get(key); v != -i {
+			t.Fatalf("corruptor missed shard holding %s: got %d", key, v)
+		}
+		if v, _ := m.Peek(key); v != i {
+			t.Fatalf("corruptor damaged stored entry %s: %d", key, v)
+		}
+	}
+	m.SetCorruptor(nil)
+	if v, _ := m.Get("k7"); v != 7 {
+		t.Fatalf("corruptor removal missed a shard: %d", v)
+	}
+}
+
 func TestMemoEntries(t *testing.T) {
 	m := NewMemo[int](4)
 	m.Put("a", 1)

@@ -27,17 +27,10 @@ func (m *Machine) RunCornerTurn(spec cornerturn.Spec) (core.Result, error) {
 	}
 	// Functional half: the strip transpose, verified against the naive
 	// reference.
-	src := testsig.NewMatrix(spec.Rows, spec.Cols, 1)
-	dst := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.TransposeStrips(dst, src, stripRows); err != nil {
-		return core.Result{}, err
-	}
-	ref := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.Transpose(ref, src); err != nil {
-		return core.Result{}, err
-	}
-	if cornerturn.Checksum(dst) != cornerturn.Checksum(ref) {
-		return core.Result{}, fmt.Errorf("imagine: corner turn output mismatch")
+	if err := cornerturn.VerifySynthetic(spec.Rows, spec.Cols, func(dst, src *testsig.Matrix) error {
+		return cornerturn.TransposeStrips(dst, src, stripRows)
+	}); err != nil {
+		return core.Result{}, fmt.Errorf("imagine: corner turn: %w", err)
 	}
 
 	m.reset()

@@ -110,6 +110,34 @@ func TransposeStrips(dst, src *testsig.Matrix, strips int) error {
 	return nil
 }
 
+// VerifySynthetic proves one transpose formulation on pooled synthetic
+// operands: it fills a deterministic rows x cols source, runs transpose
+// into a cols x rows destination, and compares checksums against the
+// naive reference. Machine models call this before timing a corner
+// turn; the matrices come from (and return to) the testsig pool, so
+// steady-state verification allocates nothing matrix-sized.
+func VerifySynthetic(rows, cols int, transpose func(dst, src *testsig.Matrix) error) error {
+	src := testsig.GetMatrix(rows, cols)
+	defer src.Release()
+	src.Fill(1)
+	dst := testsig.GetMatrix(cols, rows)
+	defer dst.Release()
+	dst.Zero()
+	if err := transpose(dst, src); err != nil {
+		return err
+	}
+	ref := testsig.GetMatrix(cols, rows)
+	defer ref.Release()
+	ref.Zero()
+	if err := Transpose(ref, src); err != nil {
+		return err
+	}
+	if Checksum(dst) != Checksum(ref) {
+		return fmt.Errorf("cornerturn: output mismatch against reference")
+	}
+	return nil
+}
+
 // Checksum returns an order-independent-free (position-sensitive) FNV-1a
 // digest of the matrix contents, used by machine models to prove their
 // functional output matches the reference without holding both copies.

@@ -120,13 +120,16 @@ type Weights struct {
 	W [][][]complex128
 }
 
-// NewWeights allocates a zero weight set for spec.
+// NewWeights allocates a zero weight set for spec. The per-bin rows
+// subslice one backing array, so the whole set costs a fixed number of
+// allocations regardless of channel counts.
 func NewWeights(s Spec) *Weights {
+	backing := make([]complex128, s.MainChannels*s.AuxChannels*s.FFTSize)
 	w := &Weights{W: make([][][]complex128, s.MainChannels)}
 	for m := range w.W {
 		w.W[m] = make([][]complex128, s.AuxChannels)
 		for a := range w.W[m] {
-			w.W[m][a] = make([]complex128, s.FFTSize)
+			w.W[m][a], backing = backing[:s.FFTSize:s.FFTSize], backing[s.FFTSize:]
 		}
 	}
 	return w
@@ -139,10 +142,14 @@ func ExtractSubBands(s Spec, x []complex128) ([][]complex128, error) {
 		return nil, fmt.Errorf("cslc: channel has %d samples, spec wants %d", len(x), s.Samples)
 	}
 	hop := s.Hop()
+	// One backing array for all windows: band extraction runs once per
+	// channel per interval, and 73 separate 128-sample allocations per
+	// call dominated the allocation profile.
+	backing := make([]complex128, s.SubBands*s.FFTSize)
 	bands := make([][]complex128, s.SubBands)
 	for b := 0; b < s.SubBands; b++ {
 		start := b * hop
-		w := make([]complex128, s.FFTSize)
+		w := backing[b*s.FFTSize : (b+1)*s.FFTSize : (b+1)*s.FFTSize]
 		copy(w, x[start:start+s.FFTSize])
 		bands[b] = w
 	}
@@ -168,9 +175,10 @@ func ForwardTransform(s Spec, channels [][]complex128) (Spectra, error) {
 		if err != nil {
 			return nil, err
 		}
+		backing := make([]complex128, len(bands)*s.FFTSize)
 		out[ch] = make([][]complex128, len(bands))
 		for b, w := range bands {
-			spec := make([]complex128, s.FFTSize)
+			spec := backing[b*s.FFTSize : (b+1)*s.FFTSize : (b+1)*s.FFTSize]
 			if err := plan.Transform(spec, w); err != nil {
 				return nil, err
 			}
@@ -184,6 +192,12 @@ func ForwardTransform(s Spec, channels [][]complex128) (Spectra, error) {
 // sub-band: out[bin] = main[bin] - sum_a w[a][bin]*aux[a][band][bin].
 func ApplyWeights(mainBand []complex128, auxBands [][]complex128, w [][]complex128) []complex128 {
 	out := make([]complex128, len(mainBand))
+	applyWeightsInto(out, mainBand, auxBands, w)
+	return out
+}
+
+// applyWeightsInto is ApplyWeights writing into caller-owned storage.
+func applyWeightsInto(out, mainBand []complex128, auxBands [][]complex128, w [][]complex128) {
 	copy(out, mainBand)
 	for a, aux := range auxBands {
 		wa := w[a]
@@ -191,7 +205,6 @@ func ApplyWeights(mainBand []complex128, auxBands [][]complex128, w [][]complex1
 			out[k] -= wa[k] * aux[k]
 		}
 	}
-	return out
 }
 
 // Output is the result of one CSLC interval.
@@ -221,17 +234,22 @@ func Run(s Spec, channels [][]complex128, w *Weights) (*Output, error) {
 		CancelledSpectra: make([][][]complex128, s.MainChannels),
 	}
 	auxSpectra := spectra[s.MainChannels:]
+	auxBands := make([][]complex128, s.AuxChannels)
 	for m := 0; m < s.MainChannels; m++ {
+		// Bulk backings for the channel's time- and frequency-domain
+		// outputs (2 allocations instead of 2 per sub-band).
+		tdBacking := make([]complex128, s.SubBands*s.FFTSize)
+		fdBacking := make([]complex128, s.SubBands*s.FFTSize)
 		out.Cancelled[m] = make([][]complex128, s.SubBands)
 		out.CancelledSpectra[m] = make([][]complex128, s.SubBands)
 		for b := 0; b < s.SubBands; b++ {
-			auxBands := make([][]complex128, s.AuxChannels)
 			for a := 0; a < s.AuxChannels; a++ {
 				auxBands[a] = auxSpectra[a][b]
 			}
-			spec := ApplyWeights(spectra[m][b], auxBands, w.W[m])
+			spec := fdBacking[b*s.FFTSize : (b+1)*s.FFTSize : (b+1)*s.FFTSize]
+			applyWeightsInto(spec, spectra[m][b], auxBands, w.W[m])
 			out.CancelledSpectra[m][b] = spec
-			td := make([]complex128, s.FFTSize)
+			td := tdBacking[b*s.FFTSize : (b+1)*s.FFTSize : (b+1)*s.FFTSize]
 			if err := inv.Transform(td, spec); err != nil {
 				return nil, err
 			}

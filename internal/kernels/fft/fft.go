@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // Radix selects the FFT decomposition.
@@ -104,14 +105,31 @@ func (c Counts) Scale(n uint64) Counts {
 }
 
 // Plan holds precomputed twiddle factors for one transform length,
-// direction, and radix.
+// direction, and radix. A Plan is immutable after construction and safe
+// for concurrent Transform calls; NewPlan returns a shared cached
+// instance per (n, radix, inverse), so the trigonometric tables are
+// computed once per shape no matter how many simulator runs ask.
 type Plan struct {
 	n       int
 	radix   Radix
 	inverse bool
 	tw      []complex128 // forward twiddles w^k = exp(-2*pi*i*k/n)
+	subTw   []complex128 // mixed-radix sub-transform twiddles (period n/2)
 	counts  Counts
 }
+
+// planKey indexes the immutable-plan cache.
+type planKey struct {
+	n       int
+	radix   Radix
+	inverse bool
+}
+
+var planCache sync.Map // planKey -> *Plan
+
+// mixedScratch pools the even/odd deinterleave buffers of the mixed
+// radix-4/2 transform (one 2*(n/2) slice per in-flight Transform).
+var mixedScratch = sync.Pool{New: func() any { return new([]complex128) }}
 
 // NewPlan builds a plan for length n. It returns an error when n is not
 // compatible with the radix (radix-2: power of two; radix-4: power of
@@ -137,6 +155,10 @@ func NewPlan(n int, radix Radix, inverse bool) (*Plan, error) {
 	default:
 		return nil, fmt.Errorf("fft: unknown radix %d", int(radix))
 	}
+	key := planKey{n: n, radix: radix, inverse: inverse}
+	if cached, ok := planCache.Load(key); ok {
+		return cached.(*Plan), nil
+	}
 	p := &Plan{n: n, radix: radix, inverse: inverse}
 	p.tw = make([]complex128, n)
 	sign := -1.0
@@ -147,8 +169,18 @@ func NewPlan(n int, radix Radix, inverse bool) (*Plan, error) {
 		ang := sign * 2 * math.Pi * float64(k) / float64(n)
 		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
 	}
+	if radix == MixedRadix42 {
+		// Sub-transform twiddles have period n/2; sample every other
+		// entry of the full table once instead of per Transform.
+		p.subTw = make([]complex128, n/2)
+		for k := range p.subTw {
+			p.subTw[k] = p.tw[2*k]
+		}
+	}
 	p.counts = p.countOps()
-	return p, nil
+	// Two racing builders compute bit-identical tables; keep the first.
+	shared, _ := planCache.LoadOrStore(key, p)
+	return shared.(*Plan), nil
 }
 
 // MustPlan is NewPlan for known-good constant arguments; it panics on error.
@@ -290,25 +322,24 @@ func (p *Plan) radix4(x []complex128, tw []complex128, twN int) {
 func (p *Plan) mixed(x []complex128) {
 	n := len(x)
 	half := n / 2
-	even := make([]complex128, half)
-	odd := make([]complex128, half)
+	buf := mixedScratch.Get().(*[]complex128)
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	scratch := (*buf)[:n]
+	even, odd := scratch[:half], scratch[half:]
 	for i := 0; i < half; i++ {
 		even[i] = x[2*i]
 		odd[i] = x[2*i+1]
 	}
-	// Sub-transform twiddles have period n/2; reuse the plan's table by
-	// sampling every other entry.
-	subTw := make([]complex128, half)
-	for k := 0; k < half; k++ {
-		subTw[k] = p.tw[2*k]
-	}
-	p.radix4(even, subTw, half)
-	p.radix4(odd, subTw, half)
+	p.radix4(even, p.subTw, half)
+	p.radix4(odd, p.subTw, half)
 	for k := 0; k < half; k++ {
 		t := odd[k] * p.tw[k]
 		x[k] = even[k] + t
 		x[k+half] = even[k] - t
 	}
+	mixedScratch.Put(buf)
 }
 
 // countOps walks the plan's loop structure and returns exact operation

@@ -11,6 +11,7 @@ package testsig
 
 import (
 	"math"
+	"sync"
 
 	"sigkern/internal/sim"
 )
@@ -25,17 +26,50 @@ type Matrix struct {
 // NewMatrix returns a Rows x Cols matrix filled with a deterministic
 // pattern derived from seed.
 func NewMatrix(rows, cols int, seed uint64) *Matrix {
-	p := sim.NewPRNG(seed)
 	m := &Matrix{Rows: rows, Cols: cols, Data: make([]int32, rows*cols)}
-	for i := range m.Data {
-		m.Data[i] = int32(p.Uint64())
-	}
+	m.Fill(seed)
 	return m
 }
 
 // ZeroMatrix returns an all-zero Rows x Cols matrix.
 func ZeroMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]int32, rows*cols)}
+}
+
+// matrixPool recycles matrix backings between simulator runs: every
+// corner-turn run stages three multi-megabyte matrices that would
+// otherwise be reallocated per job.
+var matrixPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// GetMatrix returns a Rows x Cols matrix drawn from the pool; its
+// contents are unspecified (call Fill or Zero before reading). Release
+// it when done to recycle the backing.
+func GetMatrix(rows, cols int) *Matrix {
+	m := matrixPool.Get().(*Matrix)
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]int32, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// Release returns the matrix to the pool. The caller must not touch it
+// (or any slice of its Data) afterwards.
+func (m *Matrix) Release() { matrixPool.Put(m) }
+
+// Fill overwrites the matrix with the deterministic pattern derived
+// from seed (the same pattern NewMatrix produces).
+func (m *Matrix) Fill(seed uint64) {
+	p := sim.NewPRNG(seed)
+	for i := range m.Data {
+		m.Data[i] = int32(p.Uint64())
+	}
+}
+
+// Zero overwrites every element with zero.
+func (m *Matrix) Zero() {
+	clear(m.Data)
 }
 
 // At returns element (r, c).
@@ -100,8 +134,9 @@ func (s RadarScene) Channels(nMain int) [][]complex128 {
 	p := sim.NewPRNG(s.Seed)
 	nAux := len(s.AuxCoupling)
 	chans := make([][]complex128, nMain+nAux)
+	backing := make([]complex128, (nMain+nAux)*s.Samples)
 	for i := range chans {
-		chans[i] = make([]complex128, s.Samples)
+		chans[i], backing = backing[:s.Samples:s.Samples], backing[s.Samples:]
 	}
 	for t := 0; t < s.Samples; t++ {
 		jr, ji := math.Sincos(2 * math.Pi * s.JammerFreq * float64(t))

@@ -38,12 +38,39 @@ func Research() []core.Machine {
 	}
 }
 
-// ByName returns the named machine with its default configuration.
-func ByName(name string) (core.Machine, error) {
-	for _, m := range All() {
-		if m.Name() == name {
-			return m, nil
+// Names returns the machine names in Table 3 row order without
+// constructing any machine. It must stay in sync with All; the package
+// tests assert the correspondence.
+func Names() []string {
+	return []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"}
+}
+
+// Valid reports whether name is a known machine, without the cost of
+// building one — machine construction allocates cache and DRAM state,
+// which validation hot paths (every job submission) must not pay.
+func Valid(name string) error {
+	for _, n := range Names() {
+		if n == name {
+			return nil
 		}
+	}
+	return fmt.Errorf("machines: unknown machine %q", name)
+}
+
+// ByName returns the named machine with its default configuration. Only
+// the requested machine is constructed.
+func ByName(name string) (core.Machine, error) {
+	switch name {
+	case "PPC":
+		return ppc.New(ppc.DefaultConfig(ppc.Scalar)), nil
+	case "AltiVec":
+		return ppc.New(ppc.DefaultConfig(ppc.AltiVec)), nil
+	case "VIRAM":
+		return viram.New(viram.DefaultConfig()), nil
+	case "Imagine":
+		return imagine.New(imagine.DefaultConfig()), nil
+	case "Raw":
+		return rawsim.New(rawsim.DefaultConfig()), nil
 	}
 	return nil, fmt.Errorf("machines: unknown machine %q", name)
 }

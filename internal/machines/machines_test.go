@@ -238,3 +238,34 @@ func TestReportRendering(t *testing.T) {
 		t.Errorf("CSV has %d lines, want 16 (header + 15 results)", lines)
 	}
 }
+
+// TestNamesMatchAll pins the static name list (used for cheap
+// validation on the submission hot path) to the constructed machines.
+func TestNamesMatchAll(t *testing.T) {
+	ms := All()
+	names := Names()
+	if len(ms) != len(names) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(names), len(ms))
+	}
+	for i, m := range ms {
+		if m.Name() != names[i] {
+			t.Errorf("Names()[%d] = %q, All()[%d].Name() = %q", i, names[i], i, m.Name())
+		}
+		if err := Valid(names[i]); err != nil {
+			t.Errorf("Valid(%q): %v", names[i], err)
+		}
+		got, err := ByName(names[i])
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", names[i], err)
+		}
+		if got.Name() != names[i] {
+			t.Errorf("ByName(%q).Name() = %q", names[i], got.Name())
+		}
+	}
+	if err := Valid("Cray"); err == nil {
+		t.Error("Valid accepted an unknown machine")
+	}
+	if _, err := ByName("Cray"); err == nil {
+		t.Error("ByName accepted an unknown machine")
+	}
+}

@@ -66,6 +66,10 @@ type Mesh struct {
 	cfg      Config
 	linkFree map[link]uint64
 	stats    sim.Stats
+	// routeBuf is the reusable backing for route: routes are consumed
+	// before the next call (the mesh is single-threaded by contract),
+	// and cache fills route millions of packets per kernel.
+	routeBuf []link
 }
 
 // NewMesh returns a mesh for cfg, panicking on invalid configuration.
@@ -126,11 +130,12 @@ func (m *Mesh) Hops(from, to int) int {
 }
 
 // route returns the dimension-ordered (X then Y) list of links from one
-// tile to another. The route is empty when from == to.
+// tile to another. The route is empty when from == to. The returned
+// slice aliases a mesh-owned buffer valid until the next route call.
 func (m *Mesh) route(from, to int) []link {
 	fx, fy := m.XY(from)
 	tx, ty := m.XY(to)
-	var links []link
+	links := m.routeBuf[:0]
 	cur := from
 	for x := fx; x != tx; {
 		step := 1
@@ -152,6 +157,7 @@ func (m *Mesh) route(from, to int) []link {
 		cur = next
 		y += step
 	}
+	m.routeBuf = links
 	return links
 }
 

@@ -36,17 +36,10 @@ func (m *Machine) RunCornerTurn(spec cornerturn.Spec) (core.Result, error) {
 	if err := spec.Validate(); err != nil {
 		return core.Result{}, err
 	}
-	src := testsig.NewMatrix(spec.Rows, spec.Cols, 1)
-	dst := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.TransposeBlocked(dst, src, ctBlock); err != nil {
-		return core.Result{}, err
-	}
-	ref := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.Transpose(ref, src); err != nil {
-		return core.Result{}, err
-	}
-	if cornerturn.Checksum(dst) != cornerturn.Checksum(ref) {
-		return core.Result{}, fmt.Errorf("rawsim: corner turn output mismatch")
+	if err := cornerturn.VerifySynthetic(spec.Rows, spec.Cols, func(dst, src *testsig.Matrix) error {
+		return cornerturn.TransposeBlocked(dst, src, ctBlock)
+	}); err != nil {
+		return core.Result{}, fmt.Errorf("rawsim: corner turn: %w", err)
 	}
 
 	m.reset()

@@ -151,6 +151,13 @@ func (p RetryPolicy) Delay(attempt int) time.Duration {
 func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) (attempts int, err error) {
 	p = p.normalized()
 	for attempt := 1; ; attempt++ {
+		// Re-check the context before every retry attempt (not only after
+		// the backoff sleep): a custom Sleep that ignores cancellation, or
+		// a cancellation racing the timer, must not let a dead job burn
+		// another attempt of its retry budget.
+		if attempt > 1 && ctx.Err() != nil {
+			return attempt - 1, fmt.Errorf("resilience: giving up after %d attempts: %w", attempt-1, ctx.Err())
+		}
 		err = op(ctx)
 		if err == nil || attempt >= p.MaxAttempts || !IsTransient(err) {
 			return attempt, err

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -31,6 +32,15 @@ type Checkpoint struct {
 	sweep string
 	cells []Cell
 	index map[string]int // (label \x00 machine) -> cells offset
+
+	// Save is called after every completed cell and re-encodes the whole
+	// grid each time, so the encoder and its buffer are kept on the
+	// checkpoint and reused instead of re-allocated per save. saveMu
+	// serialises saves (protecting buf/enc and the temp+rename dance)
+	// without holding mu across file I/O and fsyncs.
+	saveMu sync.Mutex
+	buf    bytes.Buffer
+	enc    *json.Encoder
 }
 
 // checkpointFile is the JSON shape on disk.
@@ -89,8 +99,15 @@ func (c *Checkpoint) Lookup(label, machine string) (Cell, bool) {
 // fsynced after the rename, so a crash or power loss mid-save leaves
 // either the old checkpoint or the new one, never a torn file.
 func (c *Checkpoint) Save(path string) error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if c.enc == nil {
+		c.enc = json.NewEncoder(&c.buf)
+		c.enc.SetIndent("", "  ")
+	}
+	c.buf.Reset()
 	c.mu.Lock()
-	data, err := json.MarshalIndent(checkpointFile{Sweep: c.sweep, Cells: c.cells}, "", "  ")
+	err := c.enc.Encode(checkpointFile{Sweep: c.sweep, Cells: c.cells})
 	c.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("study: marshal checkpoint: %w", err)
@@ -101,7 +118,7 @@ func (c *Checkpoint) Save(path string) error {
 		return fmt.Errorf("study: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(c.buf.Bytes()); err != nil {
 		tmp.Close()
 		return fmt.Errorf("study: write checkpoint: %w", err)
 	}
@@ -140,7 +157,11 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("study: corrupt checkpoint %s: %w", path, err)
 	}
-	c := NewCheckpoint(f.Sweep)
+	c := &Checkpoint{
+		sweep: f.Sweep,
+		cells: make([]Cell, 0, len(f.Cells)),
+		index: make(map[string]int, len(f.Cells)),
+	}
 	for _, cell := range f.Cells {
 		c.index[cellKey(cell.Label, cell.Machine)] = len(c.cells)
 		c.cells = append(c.cells, cell)

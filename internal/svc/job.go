@@ -35,7 +35,10 @@ type JobSpec struct {
 // and fills in the paper workload, so that hashing and execution see
 // one canonical form.
 func (s JobSpec) Normalize() (JobSpec, error) {
-	if _, err := machines.ByName(s.Machine); err != nil {
+	// Name-only validation: constructing a machine allocates simulator
+	// state (caches, DRAM banks), which the submission hot path — every
+	// request, including memo hits — must not pay.
+	if err := machines.Valid(s.Machine); err != nil {
 		return JobSpec{}, err
 	}
 	valid := false

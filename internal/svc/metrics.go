@@ -26,6 +26,7 @@ type Metrics struct {
 	panics       uint64
 	cacheHits    uint64
 	cacheMisses  uint64
+	coalescedJbs uint64
 	cyclesServed uint64
 	retries      uint64
 	determinism  uint64
@@ -95,6 +96,14 @@ func (m *Metrics) cacheMiss() {
 	m.mu.Unlock()
 }
 
+// jobCoalesced records a submission that attached to an identical
+// in-flight execution instead of running the simulator again.
+func (m *Metrics) jobCoalesced() {
+	m.mu.Lock()
+	m.coalescedJbs++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) cyclesRun(cycles uint64) {
 	m.mu.Lock()
 	m.cyclesServed += cycles
@@ -148,7 +157,10 @@ type Snapshot struct {
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
-	CyclesServed uint64  `json:"simulated_cycles_served"`
+	// Coalesced counts submissions that attached to an identical
+	// in-flight execution (singleflight) instead of running again.
+	Coalesced    uint64 `json:"jobs_coalesced"`
+	CyclesServed uint64 `json:"simulated_cycles_served"`
 	// Retries counts transient-failure re-executions; Determinism
 	// counts guard trips (results disagreeing with the memoized spec
 	// hash); Shed and BreakerRejected count admissions refused by the
@@ -181,6 +193,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Panics:       m.panics,
 		CacheHits:    m.cacheHits,
 		CacheMisses:  m.cacheMisses,
+		Coalesced:    m.coalescedJbs,
 		CyclesServed: m.cyclesServed,
 
 		Retries:         m.retries,
@@ -235,6 +248,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		{"simserved_cache_hits_total", fmt.Sprintf("%d", s.CacheHits)},
 		{"simserved_cache_misses_total", fmt.Sprintf("%d", s.CacheMisses)},
 		{"simserved_cache_hit_rate", fmt.Sprintf("%.4f", s.CacheHitRate)},
+		{"simserved_jobs_coalesced_total", fmt.Sprintf("%d", s.Coalesced)},
 		{"simserved_simulated_cycles_served_total", fmt.Sprintf("%d", s.CyclesServed)},
 		{"simserved_retries_total", fmt.Sprintf("%d", s.Retries)},
 		{"simserved_determinism_violations_total", fmt.Sprintf("%d", s.Determinism)},

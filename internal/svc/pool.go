@@ -119,6 +119,13 @@ type Pool struct {
 	metrics *Metrics
 	faults  *faults.Registry
 
+	// inflight coalesces concurrent submissions of the same MemoKey
+	// (singleflight): the first registers its future as the leader, and
+	// every identical submission until the leader completes attaches to
+	// that future instead of queueing a duplicate execution.
+	inflightMu sync.Mutex
+	inflight   map[string]*Future
+
 	// submitMu serializes sends on tasks against Close: Submit sends
 	// while holding the read lock, so once Close holds the write lock no
 	// new task can slip into the queue behind the drain.
@@ -153,10 +160,11 @@ func NewPool(opts PoolOptions) *Pool {
 		opts.Faults = faults.Default()
 	}
 	p := &Pool{
-		opts:    opts,
-		tasks:   make(chan poolItem, opts.QueueDepth),
-		metrics: opts.Metrics,
-		faults:  opts.Faults,
+		opts:     opts,
+		tasks:    make(chan poolItem, opts.QueueDepth),
+		metrics:  opts.Metrics,
+		faults:   opts.Faults,
+		inflight: make(map[string]*Future),
 	}
 	if opts.MemoCapacity >= 0 {
 		capacity := opts.MemoCapacity
@@ -280,6 +288,22 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		p.metrics.cacheMiss()
 	}
 
+	// Coalesce duplicate in-flight work: if an execution for the same
+	// MemoKey is already queued or running, attach to its future rather
+	// than running the simulator again. The shared execution's lifetime
+	// is the pool's (its context derives from p.ctx, never a waiter's),
+	// so one waiter cancelling its Wait cannot poison the rest.
+	if t.MemoKey != "" {
+		p.inflightMu.Lock()
+		if leader, ok := p.inflight[t.MemoKey]; ok {
+			p.inflightMu.Unlock()
+			p.metrics.jobCoalesced()
+			return leader, nil
+		}
+		p.inflight[t.MemoKey] = fut
+		p.inflightMu.Unlock()
+	}
+
 	if block {
 		p.metrics.jobQueued()
 		// May block when the queue is full (backpressure); workers keep
@@ -293,9 +317,31 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		p.metrics.jobQueued()
 		return fut, nil
 	default:
+		// Shed: the registered flight will never execute, so fail its
+		// future too — a duplicate submission may have attached to it in
+		// the window since registration, and it must see the shed rather
+		// than wait forever.
+		p.removeFlight(t.MemoKey, fut)
+		fut.err = fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
+		close(fut.started)
+		close(fut.done)
 		p.metrics.loadShed()
 		return nil, fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
 	}
+}
+
+// removeFlight unregisters fut as the in-flight execution for key, if
+// it still is; callers do this before completing the future so later
+// submissions start fresh instead of attaching to finished work.
+func (p *Pool) removeFlight(key string, fut *Future) {
+	if key == "" {
+		return
+	}
+	p.inflightMu.Lock()
+	if p.inflight[key] == fut {
+		delete(p.inflight, key)
+	}
+	p.inflightMu.Unlock()
 }
 
 // Close stops accepting tasks, waits for running workers to finish
@@ -315,6 +361,7 @@ func (p *Pool) Close() {
 		case item := <-p.tasks:
 			item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
 			p.metrics.jobFinished(false, false, false, false, 0)
+			p.removeFlight(item.task.MemoKey, item.fut)
 			close(item.fut.started)
 			close(item.fut.done)
 		default:
@@ -397,6 +444,11 @@ func (p *Pool) execute(item poolItem) {
 	if err != nil {
 		res = core.Result{}
 	}
+	// Unregister the flight before publishing the result: once the memo
+	// holds the result (above), later submissions are cache hits; in the
+	// narrow window between, a fresh execution is correct, a stale
+	// attachment is not.
+	p.removeFlight(item.task.MemoKey, item.fut)
 	item.fut.res, item.fut.err = res, err
 	close(item.fut.done)
 }

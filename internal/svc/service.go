@@ -514,13 +514,7 @@ func table3Data(sr *core.StudyResults) *TableData {
 }
 
 // machineNames returns the five study machines in paper order.
-func machineNames() []string {
-	var names []string
-	for _, m := range machines.All() {
-		names = append(names, m.Name())
-	}
-	return names
-}
+func machineNames() []string { return machines.Names() }
 
 // RunStudyParallel executes every (machine, kernel) pair of the
 // workload through the pool — the concurrent counterpart of

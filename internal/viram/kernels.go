@@ -53,6 +53,8 @@ func (p *prog) scalar(cost int) {
 }
 
 // chunks splits n elements into vector-length pieces of at most mvl.
+// Callers iterating the same split repeatedly should hoist the call out
+// of their loops; the split depends only on (n, mvl).
 func chunks(n, mvl int) []int {
 	var out []int
 	for n > 0 {
@@ -66,6 +68,45 @@ func chunks(n, mvl int) []int {
 	return out
 }
 
+// newProg returns the machine's reusable program builder, emptied. The
+// instruction backing is handed back by finishProg so its capacity
+// carries over to the next kernel run.
+func (m *Machine) newProg() *prog {
+	return &prog{insts: m.progBuf[:0]}
+}
+
+// finishProg returns p's backing array to the machine for reuse.
+func (m *Machine) finishProg(p *prog) { m.progBuf = p.insts }
+
+// instArena hands out fixed-capacity []Inst chunks carved from one
+// backing array, so per-butterfly bundle construction does not allocate.
+// When a request outgrows the backing a larger one is allocated; chunks
+// already handed out keep referencing the old array, which stays live
+// (and correct) until they are consumed.
+type instArena struct{ buf []Inst }
+
+// take returns an empty slice with capacity exactly n that appends in
+// place within the arena backing.
+func (a *instArena) take(n int) []Inst {
+	if len(a.buf)+n > cap(a.buf) {
+		grow := 2 * cap(a.buf)
+		if grow < n {
+			grow = n
+		}
+		if grow < 1024 {
+			grow = 1024
+		}
+		a.buf = make([]Inst, 0, grow)
+	}
+	s := a.buf[len(a.buf):len(a.buf):len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}
+
+// reset recycles the backing. Only call once every chunk handed out
+// since the last reset has been consumed (copied into a program).
+func (a *instArena) reset() { a.buf = a.buf[:0] }
+
 // RunCornerTurn implements core.Machine. The program follows the paper's
 // VIRAM algorithm: strided loads of matrix columns (with row padding to
 // spread DRAM banks) staged through vector registers, sequential stores
@@ -75,17 +116,10 @@ func (m *Machine) RunCornerTurn(spec cornerturn.Spec) (core.Result, error) {
 		return core.Result{}, err
 	}
 	// Functional half: perform and verify the real transpose.
-	src := testsig.NewMatrix(spec.Rows, spec.Cols, 1)
-	dst := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.TransposeBlocked(dst, src, spec.BlockSize); err != nil {
-		return core.Result{}, err
-	}
-	ref := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.Transpose(ref, src); err != nil {
-		return core.Result{}, err
-	}
-	if cornerturn.Checksum(dst) != cornerturn.Checksum(ref) {
-		return core.Result{}, fmt.Errorf("viram: corner turn output mismatch")
+	if err := cornerturn.VerifySynthetic(spec.Rows, spec.Cols, func(dst, src *testsig.Matrix) error {
+		return cornerturn.TransposeBlocked(dst, src, spec.BlockSize)
+	}); err != nil {
+		return core.Result{}, fmt.Errorf("viram: corner turn: %w", err)
 	}
 
 	// Timing half: emit and execute the vector program.
@@ -93,10 +127,11 @@ func (m *Machine) RunCornerTurn(spec cornerturn.Spec) (core.Result, error) {
 	srcStride := spec.Cols + m.cfg.PadWords
 	srcBase := m.alloc(spec.Rows * srcStride)
 	dstBase := m.alloc(spec.Rows * spec.Cols)
-	p := &prog{}
+	p := m.newProg()
+	rowChunks := chunks(spec.Rows, m.cfg.MVL)
 	for c := 0; c < spec.Cols; c++ {
 		r0 := 0
-		for _, vl := range chunks(spec.Rows, m.cfg.MVL) {
+		for _, vl := range rowChunks {
 			p.loadStride(vl, srcBase+r0*srcStride+c, srcStride, 0)
 			p.store(vl, dstBase+c*spec.Rows+r0, 0)
 			p.scalar(2)
@@ -104,6 +139,7 @@ func (m *Machine) RunCornerTurn(spec cornerturn.Spec) (core.Result, error) {
 		}
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 
 	return core.Result{
 		Machine:   m.Name(),
@@ -128,30 +164,24 @@ func (m *Machine) RunCornerTurnPermute(spec cornerturn.Spec) (core.Result, error
 	if err := spec.Validate(); err != nil {
 		return core.Result{}, err
 	}
-	src := testsig.NewMatrix(spec.Rows, spec.Cols, 1)
-	dst := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.TransposeBlocked(dst, src, spec.BlockSize); err != nil {
-		return core.Result{}, err
-	}
-	ref := testsig.ZeroMatrix(spec.Cols, spec.Rows)
-	if err := cornerturn.Transpose(ref, src); err != nil {
-		return core.Result{}, err
-	}
-	if cornerturn.Checksum(dst) != cornerturn.Checksum(ref) {
-		return core.Result{}, fmt.Errorf("viram: corner turn output mismatch")
+	if err := cornerturn.VerifySynthetic(spec.Rows, spec.Cols, func(dst, src *testsig.Matrix) error {
+		return cornerturn.TransposeBlocked(dst, src, spec.BlockSize)
+	}); err != nil {
+		return core.Result{}, fmt.Errorf("viram: corner turn: %w", err)
 	}
 
 	m.reset()
 	srcBase := m.alloc(spec.Rows * spec.Cols)
 	dstBase := m.alloc(spec.Rows * spec.Cols)
-	p := &prog{}
+	p := m.newProg()
 	// Process 8x64 panels: eight unit-stride row loads fill v0..v7, a
 	// permute network reassembles 64 8-element column groups, and eight
 	// stores emit them. Each element passes through one permute slot.
 	const panelRows = 8
+	colChunks := chunks(spec.Cols, m.cfg.MVL)
 	for r0 := 0; r0 < spec.Rows; r0 += panelRows {
 		c0 := 0
-		for _, vl := range chunks(spec.Cols, m.cfg.MVL) {
+		for _, vl := range colChunks {
 			for r := 0; r < panelRows && r0+r < spec.Rows; r++ {
 				p.load(vl, srcBase+(r0+r)*spec.Cols+c0, r)
 			}
@@ -174,6 +204,7 @@ func (m *Machine) RunCornerTurnPermute(spec cornerturn.Spec) (core.Result, error
 		}
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 	return core.Result{
 		Machine:   m.Name(),
 		Kernel:    core.CornerTurn,
@@ -213,14 +244,15 @@ func (m *Machine) RunBeamSteering(spec beamsteer.Spec) (core.Result, error) {
 	calBase := m.alloc(spec.Elements)
 	gradBase := m.alloc(spec.Elements)
 	outBase := m.alloc(spec.Elements * spec.Directions * spec.Dwells)
-	p := &prog{}
+	p := m.newProg()
 	outAddr := outBase
+	elemChunks := chunks(spec.Elements, m.cfg.MVL)
 	for dw := 0; dw < spec.Dwells; dw++ {
 		for d := 0; d < spec.Directions; d++ {
 			// Fold steer[d] + dwellBase[dw] + rounding into a scalar.
 			p.scalar(3)
 			e0 := 0
-			for _, vl := range chunks(spec.Elements, m.cfg.MVL) {
+			for _, vl := range elemChunks {
 				p.load(vl, calBase+e0, 0)
 				p.load(vl, gradBase+e0, 1)
 				p.iadd(vl, 2, 0, 1)
@@ -234,6 +266,7 @@ func (m *Machine) RunBeamSteering(spec beamsteer.Spec) (core.Result, error) {
 		}
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 
 	return core.Result{
 		Machine:   m.Name(),
@@ -264,7 +297,7 @@ func (m *Machine) RunCSLC(spec cslc.Spec) (core.Result, error) {
 	}
 
 	m.reset()
-	p := &prog{}
+	p := m.newProg()
 	n := spec.FFTSize
 	// Plane buffers (reused across strips, as a real implementation
 	// would): input planes, working planes, half planes.
@@ -301,6 +334,7 @@ func (m *Machine) RunCSLC(spec cslc.Spec) (core.Result, error) {
 		}
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 
 	counts, err := spec.TotalCounts()
 	if err != nil {
@@ -409,25 +443,27 @@ func (m *Machine) emitFFT(p *prog, n, vl, workRe, workIm, evenRe, evenIm, oddRe,
 	}
 	// Final radix-2 combine into the output planes, software-pipelined
 	// one butterfly deep so the next loads overlap the previous stores.
-	var bundles []bundle
+	// Bundle instruction slices come from the machine arena (sizes are
+	// fixed per butterfly: 4 loads, 11 computes, 4 stores).
+	bundles := m.bundles[:0]
 	for k := 0; k < half; k++ {
 		b := bundle{}
-		bp := &prog{}
+		bp := prog{insts: m.arena.take(4)}
 		bp.load(vl, evenRe+k*vl, 0)
 		bp.load(vl, evenIm+k*vl, 1)
 		bp.load(vl, oddRe+k*vl, 2)
 		bp.load(vl, oddIm+k*vl, 3)
 		b.loads = bp.insts
-		bp = &prog{}
+		bp = prog{insts: m.arena.take(11)}
 		// t = odd * w^k (scalar twiddle).
-		m.emitCMulScalar(bp, vl, 2, 3, 4, 5, 30, 31)
+		m.emitCMulScalar(&bp, vl, 2, 3, 4, 5, 30, 31)
 		bp.fadd(vl, 6, 0, 4) // out[k]
 		bp.fadd(vl, 7, 1, 5)
 		bp.fadd(vl, 8, 0, 4) // out[k+half] (subtract: same slot cost)
 		bp.fadd(vl, 9, 1, 5)
 		bp.scalar(2)
 		b.computes = bp.insts
-		bp = &prog{}
+		bp = prog{insts: m.arena.take(4)}
 		bp.store(vl, outRe+k*vl, 6)
 		bp.store(vl, outIm+k*vl, 7)
 		bp.store(vl, outRe+(k+half)*vl, 8)
@@ -436,6 +472,8 @@ func (m *Machine) emitFFT(p *prog, n, vl, workRe, workIm, evenRe, evenIm, oddRe,
 		bundles = append(bundles, b)
 	}
 	pipelineBundles(p, bundles)
+	m.bundles = bundles
+	m.arena.reset()
 	if inverse {
 		for s := 0; s < n; s++ {
 			p.load(vl, outRe+s*vl, 0)
@@ -481,15 +519,19 @@ func (m *Machine) emitRadix4Half(p *prog, n, vl, re, im int) {
 		}
 	}
 	// Radix-4 stages, software-pipelined one butterfly deep per stage.
+	// The bundle list and its instruction slices are machine scratch,
+	// recycled per stage once pipelineBundles has copied them out.
 	for size := 4; size <= n; size <<= 2 {
 		quarter := size / 4
-		var bundles []bundle
+		bundles := m.bundles[:0]
 		for start := 0; start < n; start += size {
 			for k := 0; k < quarter; k++ {
 				bundles = append(bundles, m.radix4BflyBundle(vl, re, im, start+k, quarter))
 			}
 		}
 		pipelineBundles(p, bundles)
+		m.bundles = bundles
+		m.arena.reset()
 	}
 }
 
@@ -508,31 +550,31 @@ func pipelineBundles(p *prog, bundles []bundle) {
 	var pending []Inst
 	for _, b := range bundles {
 		p.insts = append(p.insts, b.loads...)
-		p.insts = append(p.insts, interleave(b.computes, pending)...)
+		p.insts = appendInterleaved(p.insts, b.computes, pending)
 		pending = b.stores
 	}
 	p.insts = append(p.insts, pending...)
 }
 
-// interleave merges the two instruction sequences proportionally,
-// preserving each sequence's internal order.
-func interleave(a, b []Inst) []Inst {
+// appendInterleaved appends the two instruction sequences to dst merged
+// proportionally, preserving each sequence's internal order. Writing
+// straight into the destination program avoids a temporary per merge.
+func appendInterleaved(dst []Inst, a, b []Inst) []Inst {
 	if len(b) == 0 {
-		return a
+		return append(dst, a...)
 	}
-	out := make([]Inst, 0, len(a)+len(b))
 	ai, bi := 0, 0
 	for ai < len(a) || bi < len(b) {
 		// Emit from whichever sequence is proportionally behind.
 		if bi*len(a) <= ai*len(b) && bi < len(b) {
-			out = append(out, b[bi])
+			dst = append(dst, b[bi])
 			bi++
 		} else {
-			out = append(out, a[ai])
+			dst = append(dst, a[ai])
 			ai++
 		}
 	}
-	return out
+	return dst
 }
 
 // radix4BflyBundle builds one radix-4 butterfly over plane rows i, i+q,
@@ -540,7 +582,9 @@ func interleave(a, b []Inst) []Inst {
 func (m *Machine) radix4BflyBundle(vl, re, im, i, q int) bundle {
 	a := func(plane, idx int) int { return plane + idx*vl }
 	var b bundle
-	bp := &prog{}
+	// Arena-backed phase slices: 8 loads, 35 computes (3 complex
+	// multiplies x 6, 16 adds, 1 scalar), 8 stores per butterfly.
+	bp := prog{insts: m.arena.take(8)}
 	// Loads: four complex operands.
 	bp.load(vl, a(re, i), 0)
 	bp.load(vl, a(im, i), 1)
@@ -551,12 +595,12 @@ func (m *Machine) radix4BflyBundle(vl, re, im, i, q int) bundle {
 	bp.load(vl, a(re, i+3*q), 6)
 	bp.load(vl, a(im, i+3*q), 7)
 	b.loads = bp.insts
-	bp = &prog{}
+	bp = prog{insts: m.arena.take(35)}
 	// Three scalar-twiddle complex multiplies (b, c, d).
 	for j := 0; j < 3; j++ {
 		sr, si := 2+2*j, 3+2*j
 		dr, di := 8+2*j, 9+2*j
-		m.emitCMulScalar(bp, vl, sr, si, dr, di, 30, 31)
+		m.emitCMulScalar(&bp, vl, sr, si, dr, di, 30, 31)
 	}
 	// Complex add/sub tree: apc, amc, bpd, bmd then the four outputs.
 	bp.fadd(vl, 14, 0, 10) // apc re (a + c')
@@ -577,7 +621,7 @@ func (m *Machine) radix4BflyBundle(vl, re, im, i, q int) bundle {
 	bp.fadd(vl, 29, 17, 20)
 	bp.scalar(2)
 	b.computes = bp.insts
-	bp = &prog{}
+	bp = prog{insts: m.arena.take(8)}
 	// Stores: four complex results.
 	bp.store(vl, a(re, i), 22)
 	bp.store(vl, a(im, i), 23)

@@ -22,10 +22,11 @@ func (m *Machine) RunMatMul(spec matmul.Spec) (core.Result, error) {
 	aBase := m.alloc(spec.M * spec.K)
 	bBase := m.alloc(spec.K * spec.N)
 	cBase := m.alloc(spec.M * spec.N)
-	p := &prog{}
+	p := m.newProg()
+	colChunks := chunks(spec.N, m.cfg.MVL)
 	for i := 0; i < spec.M; i++ {
 		j0 := 0
-		for _, vl := range chunks(spec.N, m.cfg.MVL) {
+		for _, vl := range colChunks {
 			// C chunk lives in v0 for the whole K loop.
 			p.load(vl, cBase+i*spec.N+j0, 0)
 			for k := 0; k < spec.K; k++ {
@@ -41,6 +42,7 @@ func (m *Machine) RunMatMul(spec matmul.Spec) (core.Result, error) {
 		}
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 	return core.Result{
 		Machine:   m.Name(),
 		Kernel:    core.MatMul,

@@ -34,7 +34,7 @@ func (m *Machine) RunPFB(w pfb.Workload) (core.Result, error) {
 	outRe := m.alloc(w.FrameCount() * ch)
 	outIm := m.alloc(w.FrameCount() * ch)
 
-	p := &prog{}
+	p := m.newProg()
 	f0 := 0
 	for _, vl := range chunks(w.FrameCount(), m.cfg.MVL) {
 		// FIR: branch p of frames f0..f0+vl-1. Sample index is
@@ -71,6 +71,7 @@ func (m *Machine) RunPFB(w pfb.Workload) (core.Result, error) {
 		f0 += vl
 	}
 	res := m.exec(p.insts)
+	m.finishProg(p)
 	return core.Result{
 		Machine:   m.Name(),
 		Kernel:    core.KernelID("pfb"),

@@ -164,6 +164,14 @@ type Machine struct {
 	tlb    *tlb
 	heap   int // bump allocator for kernel address spaces (words)
 	tracer func(TraceEntry)
+
+	// Program-construction scratch, reused across kernel runs. A Machine
+	// is single-threaded by contract, so reuse needs no locking; the
+	// buffers keep their capacity between runs so steady-state program
+	// generation does not allocate per instruction or per butterfly.
+	progBuf []Inst
+	arena   instArena
+	bundles []bundle
 }
 
 // SetTracer attaches a per-instruction trace callback (nil detaches).
