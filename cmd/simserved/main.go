@@ -13,11 +13,16 @@
 //	                     header makes retries safe
 //	GET  /v1/jobs        list jobs (?limit= page size, ?after= cursor)
 //	GET  /v1/jobs/{id}   job status and result
+//	GET  /v1/jobs/{id}/trace  job lifecycle trace (accepted/queued/started/...)
 //	GET  /v1/tables/3    the paper's Table 3, machine-parallel (?format=text)
-//	GET  /metrics        flat-text metrics
+//	GET  /metrics        metrics: flat text by default; ?format=prometheus
+//	                     for Prometheus exposition, ?format=json for JSON
 //	GET  /healthz        queue depth, breaker states, journal lag; 200 when
 //	                     healthy, 503 when degraded
 //	GET  /debug/pprof/   Go profiling endpoints (only with -pprof)
+//
+// Every request is logged via log/slog (-log-format selects text or
+// json) with a request ID that is also echoed as X-Request-Id.
 //
 // Admission control: the job queue is bounded (-queue); once it fills,
 // submissions are shed with 429 and a Retry-After estimate instead of
@@ -47,7 +52,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -60,6 +64,7 @@ import (
 	"sigkern/internal/faults"
 	"sigkern/internal/journal"
 	"sigkern/internal/machines"
+	"sigkern/internal/obs"
 	"sigkern/internal/svc"
 )
 
@@ -76,15 +81,20 @@ func main() {
 	fsync := flag.String("fsync", "always", "journal flush policy: always, interval, or never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence when -fsync=interval")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default; exposes runtime internals)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "simserved: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
 	cfg := daemonConfig{
 		addr: *addr, addrFile: *addrFile,
 		workers: *workers, memo: *memo, queue: *queue,
 		timeout: *timeout, drain: *drain,
 		configPath: *configPath,
 		journalDir: *journalDir, fsync: *fsync, fsyncEvery: *fsyncEvery,
-		pprof: *pprofOn,
+		pprof: *pprofOn, logFormat: *logFormat,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
@@ -104,9 +114,11 @@ type daemonConfig struct {
 	fsync          string
 	fsyncEvery     time.Duration
 	pprof          bool
+	logFormat      string
 }
 
 func run(cfg daemonConfig) error {
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat)
 	opts := svc.Options{
 		Pool: svc.PoolOptions{
 			Workers:      cfg.workers,
@@ -114,6 +126,7 @@ func run(cfg daemonConfig) error {
 			MemoCapacity: cfg.memo,
 			QueueDepth:   cfg.queue,
 		},
+		Logger: logger,
 	}
 	if cfg.configPath != "" {
 		set, err := machines.LoadConfigSet(cfg.configPath)
@@ -138,8 +151,10 @@ func run(cfg daemonConfig) error {
 			return fmt.Errorf("journal: %w", err)
 		}
 		rs := service.ReplayStats()
-		log.Printf("simserved: journal %s (fsync=%s): restored %d job(s), %d result(s), requeued %d, truncated %d frame(s)",
-			cfg.journalDir, cfg.fsync, rs.JobsRestored, rs.ResultsRestored, rs.Requeued, rs.Truncations)
+		logger.Info("journal replayed",
+			"dir", cfg.journalDir, "fsync", cfg.fsync,
+			"jobs_restored", rs.JobsRestored, "results_restored", rs.ResultsRestored,
+			"requeued", rs.Requeued, "truncated_frames", rs.Truncations)
 	} else {
 		service = svc.NewService(opts)
 	}
@@ -170,7 +185,7 @@ func run(cfg daemonConfig) error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		log.Printf("simserved: pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	server := &http.Server{
 		Handler:           handler,
@@ -181,13 +196,14 @@ func run(cfg daemonConfig) error {
 	defer stop()
 
 	if reg := service.Pool().Faults(); reg != nil {
-		log.Printf("simserved: CHAOS ON — %d armed fault(s) from $%s", len(reg.Armed()), faults.EnvSpec)
+		logger.Warn("chaos enabled", "armed_faults", len(reg.Armed()), "env", faults.EnvSpec)
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("simserved: listening on %s (%d workers, %v job timeout, %d-deep admission queue)",
-			ln.Addr(), cfg.workers, cfg.timeout, cfg.queue)
+		logger.Info("listening",
+			"addr", ln.Addr().String(), "workers", cfg.workers,
+			"job_timeout", cfg.timeout.String(), "queue_depth", cfg.queue)
 		if err := server.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -205,7 +221,7 @@ func run(cfg daemonConfig) error {
 	// Drain order matters: stop admitting first (HTTP shutdown), then
 	// finish in-flight simulations and — when journaling — snapshot and
 	// compact so the next start replays nothing but the snapshot.
-	log.Printf("simserved: shutting down (draining up to %v)", cfg.drain)
+	logger.Info("shutting down", "drain_deadline", cfg.drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
@@ -214,7 +230,7 @@ func run(cfg daemonConfig) error {
 	}
 	service.Close()
 	if cfg.journalDir != "" {
-		log.Printf("simserved: journal checkpointed to %s", cfg.journalDir)
+		logger.Info("journal checkpointed", "dir", cfg.journalDir)
 	}
 	return <-errc
 }

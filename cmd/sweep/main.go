@@ -29,6 +29,7 @@ import (
 	"io/fs"
 	"os"
 	"runtime"
+	"time"
 
 	"sigkern/internal/core"
 	"sigkern/internal/report"
@@ -52,19 +53,22 @@ func run(what string, workers int, checkpoint string, resume bool) error {
 	if resume && checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
 	}
+	var cp *study.Checkpoint
 	if checkpoint != "" {
-		cp, err := loadOrNewCheckpoint(what, checkpoint, resume)
+		var err error
+		cp, err = loadOrNewCheckpoint(what, checkpoint, resume)
 		if err != nil {
 			return err
 		}
 		sw.Completed = cp
-		sw.OnCell = func(label, machine string, r core.Result) {
-			cp.Add(label, machine, r)
+		sw.OnCell = func(label, machine string, r core.Result, elapsed time.Duration) {
+			cp.Add(label, machine, r, elapsed)
 			if err := cp.Save(checkpoint); err != nil {
 				// A failed save only costs resumability, not results.
 				fmt.Fprintf(os.Stderr, "sweep: checkpoint save: %v\n", err)
 			}
 		}
+		defer printSummary(cp)
 	}
 	switch what {
 	case "matrix":
@@ -117,6 +121,23 @@ func run(what string, workers int, checkpoint string, resume bool) error {
 		return render("Beam-steering cycles (10^3) vs dwell count", "Dwells", pts)
 	default:
 		return fmt.Errorf("unknown sweep %q", what)
+	}
+}
+
+// printSummary reports per-machine cell metrics from the checkpoint:
+// completed cells, verified cells, summed kilocycles, and wall-clock
+// simulation time. Cells restored from a resumed checkpoint keep their
+// recorded elapsed times, so the totals cover the whole sweep.
+func printSummary(cp *study.Checkpoint) {
+	sums := cp.Summary()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Println()
+	fmt.Println("Per-machine cell metrics:")
+	for _, s := range sums {
+		fmt.Printf("  %-10s %2d cell(s), %2d verified, %12.1f kcycles, %8.1f ms wall\n",
+			s.Machine, s.Cells, s.VerifiedCells, s.KCycles, s.WallMS)
 	}
 }
 

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewLogger builds a structured logger writing to w. format is "text"
+// or "json" (case-insensitive; anything else falls back to text).
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// statusWriter captures the status code and bytes written for the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Instrument wraps an HTTP handler with request-ID propagation and
+// structured access logging: the inbound X-Request-Id (or a generated
+// ID) is placed in the request context, echoed on the response, and —
+// when logger is non-nil — logged with method, path, status, duration,
+// and response size. A nil logger keeps the ID plumbing and skips the
+// log line.
+func Instrument(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		ctx := WithRequestID(r.Context(), id)
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if logger != nil {
+			logger.LogAttrs(ctx, slog.LevelInfo, "http_request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", time.Since(start)),
+				slog.Int("bytes", sw.bytes),
+			)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels identifies one (machine, kernel) cell of the paper's Table 3 —
+// the label set every per-cell metric series is keyed by. The zero
+// value means "unlabeled"; vectors ignore observations made with it so
+// internal plumbing (stub tasks, tests) never mints empty-label series.
+type Labels struct {
+	Machine string
+	Kernel  string
+}
+
+// IsZero reports whether the label set carries no information.
+func (l Labels) IsZero() bool { return l.Machine == "" && l.Kernel == "" }
+
+// Counter is one monotonically increasing series. All methods are
+// atomic and safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a family of counters keyed by Labels. With is a map
+// read under an RWMutex on the hot path; child creation (first
+// observation of a cell) takes the write lock once.
+type CounterVec struct {
+	name string
+	help string
+
+	mu       sync.RWMutex
+	children map[Labels]*Counter
+}
+
+// Name returns the metric family name.
+func (v *CounterVec) Name() string { return v.name }
+
+// With returns the counter for l, creating it on first use. The zero
+// Labels value returns a shared throwaway counter that is never
+// exposed, so unlabeled call sites cost an atomic add and nothing else.
+func (v *CounterVec) With(l Labels) *Counter {
+	if l.IsZero() {
+		return &discard
+	}
+	v.mu.RLock()
+	c, ok := v.children[l]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[l]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[l] = c
+	return c
+}
+
+// discard absorbs observations made with zero Labels.
+var discard Counter
+
+// Values returns a copy of every (labels, count) pair, sorted by
+// machine then kernel for stable exposition.
+func (v *CounterVec) Values() []LabeledValue {
+	v.mu.RLock()
+	out := make([]LabeledValue, 0, len(v.children))
+	for l, c := range v.children {
+		out = append(out, LabeledValue{Labels: l, Value: float64(c.Value())})
+	}
+	v.mu.RUnlock()
+	sortLabeled(out)
+	return out
+}
+
+// LabeledValue is one exposed sample of a vector.
+type LabeledValue struct {
+	Labels Labels
+	Value  float64
+}
+
+func sortLabeled(s []LabeledValue) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Labels.Machine != s[j].Labels.Machine {
+			return s[i].Labels.Machine < s[j].Labels.Machine
+		}
+		return s[i].Labels.Kernel < s[j].Labels.Kernel
+	})
+}
+
+// DefBuckets are the default latency histogram bounds in seconds:
+// cache hits land in the sub-millisecond buckets, simulator executions
+// in the milliseconds-to-minutes range.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is one fixed-bucket latency distribution. Observations are
+// two atomic adds plus a binary search over the (immutable) bounds;
+// cumulative bucket counts are computed at exposition time.
+type Histogram struct {
+	bounds   []float64 // upper bounds in seconds, ascending
+	counts   []atomic.Uint64
+	inf      atomic.Uint64 // observations above the last bound
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s, i.e. the `le` bucket
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values in seconds.
+func (h *Histogram) Sum() float64 {
+	return time.Duration(h.sumNanos.Load()).Seconds()
+}
+
+// Cumulative returns the bucket upper bounds and the cumulative count
+// at or below each — the Prometheus `_bucket{le=...}` series, excluding
+// the trailing +Inf (which equals Count).
+func (h *Histogram) Cumulative() (bounds []float64, cum []uint64) {
+	cum = make([]uint64, len(h.bounds))
+	var total uint64
+	for i := range h.bounds {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return h.bounds, cum
+}
+
+// HistogramVec is a family of histograms keyed by Labels, sharing one
+// set of bucket bounds.
+type HistogramVec struct {
+	name   string
+	help   string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[Labels]*Histogram
+}
+
+// Name returns the metric family name.
+func (v *HistogramVec) Name() string { return v.name }
+
+// With returns the histogram for l, creating it on first use. The zero
+// Labels value returns an unexposed throwaway, like CounterVec.With.
+func (v *HistogramVec) With(l Labels) *Histogram {
+	if l.IsZero() {
+		return newHistogram(v.bounds)
+	}
+	v.mu.RLock()
+	h, ok := v.children[l]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[l]; ok {
+		return h
+	}
+	h = newHistogram(v.bounds)
+	v.children[l] = h
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// snapshot returns the children sorted by machine then kernel.
+func (v *HistogramVec) snapshot() []labeledHistogram {
+	v.mu.RLock()
+	out := make([]labeledHistogram, 0, len(v.children))
+	for l, h := range v.children {
+		out = append(out, labeledHistogram{labels: l, hist: h})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].labels.Machine != out[j].labels.Machine {
+			return out[i].labels.Machine < out[j].labels.Machine
+		}
+		return out[i].labels.Kernel < out[j].labels.Kernel
+	})
+	return out
+}
+
+type labeledHistogram struct {
+	labels Labels
+	hist   *Histogram
+}
+
+// Registry holds metric families for exposition, in registration
+// order. Registration happens at service construction; observation is
+// lock-free with respect to the registry itself.
+type Registry struct {
+	mu       sync.Mutex
+	counters []*CounterVec
+	hists    []*HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string) *CounterVec {
+	v := &CounterVec{name: name, help: help, children: make(map[Labels]*Counter)}
+	r.mu.Lock()
+	r.counters = append(r.counters, v)
+	r.mu.Unlock()
+	return v
+}
+
+// NewHistogramVec registers and returns a labeled histogram family.
+// nil buckets means DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	v := &HistogramVec{name: name, help: help, bounds: buckets, children: make(map[Labels]*Histogram)}
+	r.mu.Lock()
+	r.hists = append(r.hists, v)
+	r.mu.Unlock()
+	return v
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format served by /metrics?format=prometheus.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+var escapeLabelValue = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal in help text).
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePromHeader writes the # HELP and # TYPE comment lines for one
+// metric family. typ is "counter", "gauge", or "histogram".
+func WritePromHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp.Replace(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// WritePromSample writes one sample line, with the cell labels (and
+// any extra label pair, e.g. le for histogram buckets) escaped.
+func WritePromSample(w io.Writer, name string, l Labels, extraKey, extraVal string, value string) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if !l.IsZero() || extraKey != "" {
+		sb.WriteByte('{')
+		sep := ""
+		if !l.IsZero() {
+			sb.WriteString(`machine="`)
+			sb.WriteString(escapeLabelValue.Replace(l.Machine))
+			sb.WriteString(`",kernel="`)
+			sb.WriteString(escapeLabelValue.Replace(l.Kernel))
+			sb.WriteString(`"`)
+			sep = ","
+		}
+		if extraKey != "" {
+			sb.WriteString(sep)
+			sb.WriteString(extraKey)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue.Replace(extraVal))
+			sb.WriteString(`"`)
+		}
+		sb.WriteByte('}')
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", sb.String(), value)
+	return err
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format, families in registration order and series in
+// sorted (machine, kernel) order so scrapes are stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := append([]*CounterVec(nil), r.counters...)
+	hists := append([]*HistogramVec(nil), r.hists...)
+	r.mu.Unlock()
+
+	for _, v := range counters {
+		vals := v.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		if err := WritePromHeader(w, v.name, v.help, "counter"); err != nil {
+			return err
+		}
+		for _, lv := range vals {
+			if err := WritePromSample(w, v.name, lv.Labels, "", "", formatFloat(lv.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range hists {
+		children := v.snapshot()
+		if len(children) == 0 {
+			continue
+		}
+		if err := WritePromHeader(w, v.name, v.help, "histogram"); err != nil {
+			return err
+		}
+		for _, lh := range children {
+			bounds, cum := lh.hist.Cumulative()
+			for i, ub := range bounds {
+				if err := WritePromSample(w, v.name+"_bucket", lh.labels, "le", formatFloat(ub),
+					strconv.FormatUint(cum[i], 10)); err != nil {
+					return err
+				}
+			}
+			total := lh.hist.Count()
+			if err := WritePromSample(w, v.name+"_bucket", lh.labels, "le", "+Inf",
+				strconv.FormatUint(total, 10)); err != nil {
+				return err
+			}
+			if err := WritePromSample(w, v.name+"_sum", lh.labels, "", "", formatFloat(lh.hist.Sum())); err != nil {
+				return err
+			}
+			if err := WritePromSample(w, v.name+"_count", lh.labels, "", "", strconv.FormatUint(total, 10)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

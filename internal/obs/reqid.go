@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header a request ID arrives in and is
+// echoed back on: clients that set it get their own ID threaded through
+// logs and traces; everyone else gets a generated one.
+const RequestIDHeader = "X-Request-Id"
+
+type requestIDKey struct{}
+
+// reqSeq backs the fallback ID when crypto/rand fails (it practically
+// cannot; the fallback keeps IDs unique rather than empty).
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "time"
+
+// Event is one timestamped transition in a job's lifecycle trace — the
+// span-style record behind GET /v1/jobs/{id}/trace. Events accumulate
+// in order: accepted, queued, started, retried (0..n times), then a
+// terminal done/failed; journal replay reconstructs the list for
+// restored jobs and appends requeued for work resumed after a crash.
+type Event struct {
+	Name string    `json:"event"`
+	Time time.Time `json:"time"`
+	Note string    `json:"note,omitempty"`
+}
+
+// Canonical lifecycle event names.
+const (
+	EventAccepted = "accepted"
+	EventQueued   = "queued"
+	EventStarted  = "started"
+	EventRetried  = "retried"
+	EventDone     = "done"
+	EventFailed   = "failed"
+	EventRequeued = "requeued"
+)

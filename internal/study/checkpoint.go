@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"sigkern/internal/core"
 )
@@ -15,11 +17,14 @@ import (
 // machine column, and the cycles it simulated. Verified records whether
 // the simulator checked its functional output against the golden kernel
 // reference; only verified cells are trusted enough to skip on resume.
+// ElapsedMS is the wall-clock simulation time of the cell (0 for cells
+// restored from an older checkpoint or served from cache).
 type Cell struct {
-	Label    string `json:"label"`
-	Machine  string `json:"machine"`
-	Cycles   uint64 `json:"cycles"`
-	Verified bool   `json:"verified"`
+	Label     string  `json:"label"`
+	Machine   string  `json:"machine"`
+	Cycles    uint64  `json:"cycles"`
+	Verified  bool    `json:"verified"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 // Checkpoint is a crash-safe record of completed sweep cells. A sweep
@@ -70,16 +75,61 @@ func (c *Checkpoint) Len() int {
 
 // Add records one completed cell, overwriting any previous record for
 // the same (label, machine).
-func (c *Checkpoint) Add(label, machine string, r core.Result) {
+func (c *Checkpoint) Add(label, machine string, r core.Result, elapsed time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cell := Cell{Label: label, Machine: machine, Cycles: r.Cycles, Verified: r.Verified}
+	cell := Cell{
+		Label: label, Machine: machine,
+		Cycles: r.Cycles, Verified: r.Verified,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
 	if i, ok := c.index[cellKey(label, machine)]; ok {
 		c.cells[i] = cell
 		return
 	}
 	c.index[cellKey(label, machine)] = len(c.cells)
 	c.cells = append(c.cells, cell)
+}
+
+// MachineSummary aggregates a checkpoint's cells for one machine — the
+// per-cell metrics block a sweep driver prints alongside its table.
+type MachineSummary struct {
+	Machine string
+	Cells   int
+	// VerifiedCells counts cells whose functional output was checked.
+	VerifiedCells int
+	// KCycles is the summed simulated cycles, in thousands.
+	KCycles float64
+	// WallMS is the summed wall-clock simulation time in milliseconds
+	// (cells restored from an older checkpoint contribute 0).
+	WallMS float64
+}
+
+// Summary aggregates the recorded cells per machine, sorted by machine
+// name.
+func (c *Checkpoint) Summary() []MachineSummary {
+	c.mu.Lock()
+	byMachine := make(map[string]*MachineSummary)
+	for _, cell := range c.cells {
+		ms, ok := byMachine[cell.Machine]
+		if !ok {
+			ms = &MachineSummary{Machine: cell.Machine}
+			byMachine[cell.Machine] = ms
+		}
+		ms.Cells++
+		if cell.Verified {
+			ms.VerifiedCells++
+		}
+		ms.KCycles += float64(cell.Cycles) / 1e3
+		ms.WallMS += cell.ElapsedMS
+	}
+	c.mu.Unlock()
+	out := make([]MachineSummary, 0, len(byMachine))
+	for _, ms := range byMachine {
+		out = append(out, *ms)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
 }
 
 // Lookup returns the recorded cell for (label, machine). Callers decide

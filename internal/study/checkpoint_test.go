@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sigkern/internal/core"
 )
@@ -51,16 +52,16 @@ func TestSweepResumesFromCheckpoint(t *testing.T) {
 
 	// The "crashed" run completed p0 before dying.
 	cp := NewCheckpoint("test")
-	cp.Add("p0", "A", core.Result{Cycles: 100, Verified: true})
-	cp.Add("p0", "B", core.Result{Cycles: 200, Verified: true})
+	cp.Add("p0", "A", core.Result{Cycles: 100, Verified: true}, 0)
+	cp.Add("p0", "B", core.Result{Cycles: 200, Verified: true}, 0)
 
 	var resumedCalls atomic.Int64
 	var cellsSeen []string
 	got, err := Sweeper{
 		Completed: cp,
-		OnCell: func(label, machine string, r core.Result) {
+		OnCell: func(label, machine string, r core.Result, elapsed time.Duration) {
 			cellsSeen = append(cellsSeen, label+"/"+machine)
-			cp.Add(label, machine, r)
+			cp.Add(label, machine, r, elapsed)
 		},
 	}.sweep(countingPoints(&resumedCalls))
 	if err != nil {
@@ -86,7 +87,7 @@ func TestSweepResumesFromCheckpoint(t *testing.T) {
 // cells whose functional output was verified; anything else re-runs.
 func TestSweepReRunsUnverifiedCheckpointCells(t *testing.T) {
 	cp := NewCheckpoint("test")
-	cp.Add("p0", "A", core.Result{Cycles: 999999, Verified: false})
+	cp.Add("p0", "A", core.Result{Cycles: 999999, Verified: false}, 0)
 
 	var calls atomic.Int64
 	got, err := Sweeper{Completed: cp}.sweep(countingPoints(&calls))
@@ -104,10 +105,10 @@ func TestSweepReRunsUnverifiedCheckpointCells(t *testing.T) {
 func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.json")
 	cp := NewCheckpoint("matrix")
-	cp.Add("256x256", "VIRAM", core.Result{Cycles: 123, Verified: true})
-	cp.Add("256x256", "Raw", core.Result{Cycles: 456, Verified: false})
+	cp.Add("256x256", "VIRAM", core.Result{Cycles: 123, Verified: true}, 0)
+	cp.Add("256x256", "Raw", core.Result{Cycles: 456, Verified: false}, 0)
 	// Overwrite is keyed by (label, machine).
-	cp.Add("256x256", "VIRAM", core.Result{Cycles: 124, Verified: true})
+	cp.Add("256x256", "VIRAM", core.Result{Cycles: 124, Verified: true}, 0)
 	if err := cp.Save(path); err != nil {
 		t.Fatal(err)
 	}

@@ -50,8 +50,10 @@ type Sweeper struct {
 	Completed *Checkpoint
 	// OnCell, when set, is invoked once per freshly simulated cell (not
 	// for cells served from Completed), serially from the collection
-	// loop, in submission order. Drivers use it to checkpoint progress.
-	OnCell func(label, machine string, r core.Result)
+	// loop, in submission order, with the cell's wall-clock execution
+	// time. Drivers use it to checkpoint progress and report per-cell
+	// metrics.
+	OnCell func(label, machine string, r core.Result, elapsed time.Duration)
 }
 
 // machineRun is one simulation of a sweep point: a column name and the
@@ -127,7 +129,7 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 		}
 		out[c.point].Cycles[machine] = r.Cycles
 		if s.OnCell != nil {
-			s.OnCell(label, machine, r)
+			s.OnCell(label, machine, r, c.fut.Elapsed())
 		}
 	}
 	return out, nil

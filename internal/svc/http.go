@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sigkern/internal/journal"
+	"sigkern/internal/obs"
 	"sigkern/internal/report"
 	"sigkern/internal/resilience"
 )
@@ -38,24 +39,31 @@ const StatusClientClosedRequest = 499
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs        submit a job (JobSpec JSON); ?wait=1 blocks,
-//	                     ?timeout=30s bounds the wait. Saturation is
-//	                     shed with 429 + Retry-After; an open machine
-//	                     breaker answers 503 + Retry-After.
-//	GET  /v1/jobs        list tracked jobs
-//	GET  /v1/jobs/{id}   one job's status and result
-//	GET  /v1/tables/3    regenerate the paper's Table 3 (?format=text)
-//	GET  /metrics        flat-text metrics
-//	GET  /healthz        queue depth, breaker states, degraded flag
+//	POST /v1/jobs            submit a job (JobSpec JSON); ?wait=1 blocks,
+//	                         ?timeout=30s bounds the wait. Saturation is
+//	                         shed with 429 + Retry-After; an open machine
+//	                         breaker answers 503 + Retry-After.
+//	GET  /v1/jobs            list tracked jobs
+//	GET  /v1/jobs/{id}       one job's status and result
+//	GET  /v1/jobs/{id}/trace the job's lifecycle trace (span events)
+//	GET  /v1/tables/3        regenerate the paper's Table 3 (?format=text)
+//	GET  /metrics            metrics: flat text (default), ?format=prometheus,
+//	                         or ?format=json
+//	GET  /healthz            queue depth, breaker states, degraded flag
+//
+// Every response carries an X-Request-Id (echoed from the request, or
+// generated); the handler logs each request through the service's
+// structured logger when one is configured.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/tables/3", s.handleTable3)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return obs.Instrument(s.logger, mux)
 }
 
 type httpError struct {
@@ -97,11 +105,16 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // retryAfter estimates how long a shed client should back off: the
-// queue drained at the pool's recent p50 latency per worker, floored at
-// one second so the header is always actionable.
+// queue drained at the pool's recent executed-job p50 latency per
+// worker, floored at one second so the header is always actionable.
+// Two deliberate choices for the overload path this runs on: the p50
+// comes from the executed-job window (µs-scale cache hits must not
+// collapse the drain estimate exactly when the queue is full of real
+// simulator work), and it is a cached atomic read refreshed at most
+// once a second (never a copy-and-sort of the full window per shed
+// response).
 func (s *Service) retryAfter() time.Duration {
-	snap := s.Metrics().Snapshot()
-	p50 := snap.P50Seconds
+	p50 := s.Metrics().ExecP50().Seconds()
 	if p50 <= 0 {
 		p50 = 0.1
 	}
@@ -253,9 +266,41 @@ func (s *Service) handleTable3(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, td)
 }
 
+// TraceResponse is the GET /v1/jobs/{id}/trace payload.
+type TraceResponse struct {
+	ID     string      `json:"id"`
+	State  State       `json:"state"`
+	Events []obs.Event `json:"events"`
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, state, ok := s.JobTrace(id)
+	if !ok {
+		if s.wasEvicted(id) {
+			writeError(w, httpError{http.StatusGone, fmt.Sprintf("job %q evicted from registry", id)})
+			return
+		}
+		writeError(w, httpError{http.StatusNotFound, fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{ID: id, State: state, Events: events})
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.Metrics().Snapshot().WriteText(w)
+	switch format := strings.ToLower(r.URL.Query().Get("format")); format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.Metrics().Snapshot().WriteText(w)
+	case "prometheus", "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = s.Metrics().WritePrometheus(w)
+	case "json":
+		writeJSON(w, http.StatusOK, s.Metrics().Snapshot())
+	default:
+		writeError(w, httpError{http.StatusBadRequest,
+			fmt.Sprintf("unknown metrics format %q (want text, prometheus, or json)", format)})
+	}
 }
 
 // Health is the /healthz payload: admission and breaker visibility for
@@ -304,7 +349,7 @@ func (s *Service) Healthz() Health {
 	if s.journal != nil {
 		h.Journal = &JournalHealth{
 			Stats:        s.journal.Stats(),
-			AppendErrors: s.Metrics().Snapshot().JournalAppendErrors,
+			AppendErrors: s.Metrics().JournalAppendErrors(),
 			Replay:       s.ReplayStats(),
 		}
 		if h.Journal.AppendErrors > 0 {

@@ -16,6 +16,7 @@ import (
 
 	"sigkern/internal/core"
 	"sigkern/internal/machines"
+	"sigkern/internal/obs"
 )
 
 // JobSpec names one simulation: a machine, a kernel, and the workload to
@@ -109,12 +110,29 @@ type Job struct {
 	Submitted time.Time    `json:"submitted"`
 	Started   time.Time    `json:"started"`
 	Finished  time.Time    `json:"finished"`
+	// Trace is the job's span-style lifecycle record: timestamped
+	// accepted/queued/started/retried/terminal transitions, served by
+	// GET /v1/jobs/{id}/trace and persisted in journal snapshots so it
+	// survives a restart. Job-list snapshots omit it.
+	Trace []obs.Event `json:"trace,omitempty"`
 	// interrupted marks a job whose failure was the process shutting
 	// down (ErrPoolClosed), not the work itself: the durability layer
 	// journals no terminal state for it and snapshots it as still
 	// queued, so a restart re-enqueues it instead of replaying a
 	// failure the client never caused.
 	interrupted bool
+}
+
+// clone returns a copy safe to hand outside the registry lock: the
+// trace slice is deep-copied (withTrace) or dropped, so a later append
+// under the lock can never share memory with a caller's snapshot.
+func (j *Job) clone(withTrace bool) Job {
+	cp := *j
+	cp.Trace = nil
+	if withTrace && len(j.Trace) > 0 {
+		cp.Trace = append([]obs.Event(nil), j.Trace...)
+	}
+	return cp
 }
 
 // Latency returns the queue-to-finish duration for terminal jobs and 0

@@ -9,6 +9,7 @@ import (
 
 	"sigkern/internal/core"
 	"sigkern/internal/journal"
+	"sigkern/internal/obs"
 )
 
 // ErrDurability is returned by Submit/Admit when the service is
@@ -218,6 +219,7 @@ func (s *Service) replayRecovery(rec *journal.Recovery) {
 		if !j.State.Terminal() {
 			j.State = Queued
 			j.Started = time.Time{}
+			j.Trace = append(j.Trace, obs.Event{Name: obs.EventRequeued, Time: time.Now(), Note: "journal replay"})
 			rq = append(rq, requeue{id: j.ID, spec: j.Spec, hash: j.Hash})
 		}
 	}
@@ -256,6 +258,13 @@ func (s *Service) applyEventLocked(ev jobEvent, st *ReplayStats) {
 			IdemKey:   ev.IdemKey,
 			State:     Queued,
 			Submitted: ev.Time,
+			// Log-record replay reconstructs the lifecycle trace from
+			// the journaled transitions (acceptance implies queueing:
+			// both were durable before the client heard about the job).
+			Trace: []obs.Event{
+				{Name: obs.EventAccepted, Time: ev.Time},
+				{Name: obs.EventQueued, Time: ev.Time},
+			},
 		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
@@ -267,6 +276,7 @@ func (s *Service) applyEventLocked(ev jobEvent, st *ReplayStats) {
 		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
 			j.State = Running
 			j.Started = ev.Time
+			j.Trace = append(j.Trace, obs.Event{Name: obs.EventStarted, Time: ev.Time})
 		}
 	case eventDone:
 		if ev.Result == nil {
@@ -288,12 +298,18 @@ func (s *Service) applyEventLocked(ev jobEvent, st *ReplayStats) {
 			j.Result = ev.Result
 			j.FromCache = ev.FromCache
 			j.Finished = ev.Time
+			note := ""
+			if ev.FromCache {
+				note = "cache hit"
+			}
+			j.Trace = append(j.Trace, obs.Event{Name: obs.EventDone, Time: ev.Time, Note: note})
 		}
 	case eventFailed:
 		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
 			j.State = Failed
 			j.Error = ev.Error
 			j.Finished = ev.Time
+			j.Trace = append(j.Trace, obs.Event{Name: obs.EventFailed, Time: ev.Time, Note: ev.Error})
 		}
 	case eventAborted:
 		if j, ok := s.jobs[ev.ID]; ok {
@@ -325,6 +341,10 @@ func (s *Service) enqueue(id string, spec JobSpec, hash string) error {
 	task := Task{
 		Label:   fmt.Sprintf("%s/%s", spec.Machine, spec.Kernel),
 		MemoKey: hash,
+		Cell:    obs.Labels{Machine: spec.Machine, Kernel: string(spec.Kernel)},
+		OnRetry: func(attempt int, err error) {
+			s.traceEvent(id, obs.EventRetried, fmt.Sprintf("attempt %d: %v", attempt, err))
+		},
 		Run: func(context.Context) (core.Result, error) {
 			s.markRunning(id)
 			return runSpec(s.factory, spec)

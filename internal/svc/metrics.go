@@ -5,146 +5,230 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"sigkern/internal/obs"
 )
 
-// latencyWindow bounds the ring buffer behind the latency quantiles: a
+// latencyWindow bounds the ring buffers behind the latency quantiles: a
 // rolling window of the most recent terminal jobs.
 const latencyWindow = 1024
 
+// execP50TTL bounds how stale the cached executed-job p50 served to
+// Retry-After may get before a reader recomputes it.
+const execP50TTL = time.Second
+
+// latRing is a fixed-capacity ring of latency samples. Not
+// self-locking; Metrics guards both rings with one small mutex that is
+// never shared with the counter hot path.
+type latRing struct {
+	buf  []time.Duration
+	next int
+}
+
+func (r *latRing) add(d time.Duration) {
+	if len(r.buf) < latencyWindow {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.next] = d
+	}
+	r.next = (r.next + 1) % latencyWindow
+}
+
+// sortedCopy returns the window's samples, sorted ascending.
+func (r *latRing) sortedCopy() []time.Duration {
+	out := make([]time.Duration, len(r.buf))
+	copy(out, r.buf)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Metrics is the service's in-process metrics registry: job lifecycle
-// counters, cache effectiveness, total simulated cycles served, and a
-// rolling latency window for quantiles. All methods are safe for
-// concurrent use.
+// counters, cache effectiveness, total simulated cycles served, rolling
+// latency windows for quantiles, and per-(machine, kernel) labeled
+// series for every Table 3 cell. All methods are safe for concurrent
+// use. Counters are atomics, so the hot path (every queued job, every
+// cache hit) never contends with Snapshot sorting the latency window.
 type Metrics struct {
-	mu           sync.Mutex
-	queued       uint64
-	running      uint64
-	done         uint64
-	failed       uint64
-	timeouts     uint64
-	panics       uint64
-	cacheHits    uint64
-	cacheMisses  uint64
-	coalescedJbs uint64
-	cyclesServed uint64
-	retries      uint64
-	determinism  uint64
-	shed         uint64
-	breakerDrops uint64
-	journalErrs  uint64
-	latencies    []time.Duration
-	next         int
-	filled       bool
+	queued       atomic.Uint64
+	running      atomic.Int64
+	done         atomic.Uint64
+	failed       atomic.Uint64
+	timeouts     atomic.Uint64
+	panics       atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	coalescedJbs atomic.Uint64
+	cyclesServed atomic.Uint64
+	retries      atomic.Uint64
+	determinism  atomic.Uint64
+	shed         atomic.Uint64
+	breakerDrops atomic.Uint64
+	journalErrs  atomic.Uint64
+
+	// latMu guards the two rolling windows only. all holds every
+	// terminal job (cache hits included) and feeds the reported
+	// quantiles; exec holds only jobs that actually ran a simulator and
+	// feeds the Retry-After drain estimate — µs-scale cache hits in the
+	// drain math would collapse the estimate exactly when the queue is
+	// full of real work.
+	latMu sync.Mutex
+	all   latRing
+	exec  latRing
+
+	// Cached executed-job p50, refreshed at most once per execP50TTL:
+	// Retry-After is computed precisely under overload, where sorting
+	// 1024 samples per shed response is the last thing the server needs.
+	execP50Nanos atomic.Int64
+	execP50Stamp atomic.Int64 // unix nanos of the refresh that owns the value
+
+	// Labeled per-cell series, exposed in the Prometheus format.
+	reg            *obs.Registry
+	vecDone        *obs.CounterVec
+	vecFailed      *obs.CounterVec
+	vecCacheHits   *obs.CounterVec
+	vecCacheMisses *obs.CounterVec
+	vecCoalesced   *obs.CounterVec
+	vecRetries     *obs.CounterVec
+	vecDeterminism *obs.CounterVec
+	vecExecLatency *obs.HistogramVec
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{latencies: make([]time.Duration, 0, latencyWindow)}
+	m := &Metrics{reg: obs.NewRegistry()}
+	m.vecDone = m.reg.NewCounterVec("simserved_cell_jobs_done_total",
+		"Jobs finished successfully, per (machine, kernel) cell.")
+	m.vecFailed = m.reg.NewCounterVec("simserved_cell_jobs_failed_total",
+		"Jobs finished in error, per (machine, kernel) cell.")
+	m.vecCacheHits = m.reg.NewCounterVec("simserved_cell_cache_hits_total",
+		"Jobs answered from the memo table, per (machine, kernel) cell.")
+	m.vecCacheMisses = m.reg.NewCounterVec("simserved_cell_cache_misses_total",
+		"Memo probes that missed, per (machine, kernel) cell.")
+	m.vecCoalesced = m.reg.NewCounterVec("simserved_cell_jobs_coalesced_total",
+		"Submissions attached to an identical in-flight execution, per (machine, kernel) cell.")
+	m.vecRetries = m.reg.NewCounterVec("simserved_cell_retries_total",
+		"Transient-failure re-executions, per (machine, kernel) cell.")
+	m.vecDeterminism = m.reg.NewCounterVec("simserved_cell_determinism_violations_total",
+		"Determinism-guard trips, per (machine, kernel) cell.")
+	m.vecExecLatency = m.reg.NewHistogramVec("simserved_cell_exec_latency_seconds",
+		"Executed-job latency (queue to finish, cache hits excluded), per (machine, kernel) cell.", nil)
+	return m
 }
 
-func (m *Metrics) jobQueued() {
-	m.mu.Lock()
-	m.queued++
-	m.mu.Unlock()
-}
+// Registry returns the labeled per-cell series for exposition.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
-func (m *Metrics) jobStarted() {
-	m.mu.Lock()
-	m.running++
-	m.mu.Unlock()
-}
+func (m *Metrics) jobQueued() { m.queued.Add(1) }
+
+func (m *Metrics) jobStarted() { m.running.Add(1) }
 
 // jobFinished records a terminal transition. started is false for jobs
-// that never ran (cache hits, rejected submissions after queueing).
-func (m *Metrics) jobFinished(started, ok, timedOut, panicked bool, latency time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if started && m.running > 0 {
-		m.running--
+// that never ran (cache hits, rejected submissions after queueing);
+// only started jobs enter the executed-latency window behind the
+// Retry-After drain estimate.
+func (m *Metrics) jobFinished(cell obs.Labels, started, ok, timedOut, panicked bool, latency time.Duration) {
+	if started {
+		m.running.Add(-1)
 	}
 	if ok {
-		m.done++
+		m.done.Add(1)
+		m.vecDone.With(cell).Inc()
 	} else {
-		m.failed++
+		m.failed.Add(1)
+		m.vecFailed.With(cell).Inc()
 	}
 	if timedOut {
-		m.timeouts++
+		m.timeouts.Add(1)
 	}
 	if panicked {
-		m.panics++
+		m.panics.Add(1)
 	}
-	if len(m.latencies) < latencyWindow {
-		m.latencies = append(m.latencies, latency)
-	} else {
-		m.latencies[m.next] = latency
-		m.filled = true
+	m.latMu.Lock()
+	m.all.add(latency)
+	if started {
+		m.exec.add(latency)
 	}
-	m.next = (m.next + 1) % latencyWindow
+	m.latMu.Unlock()
+	if started && !cell.IsZero() {
+		m.vecExecLatency.With(cell).Observe(latency)
+	}
 }
 
-func (m *Metrics) cacheHit(cycles uint64) {
-	m.mu.Lock()
-	m.cacheHits++
-	m.cyclesServed += cycles
-	m.mu.Unlock()
+func (m *Metrics) cacheHit(cell obs.Labels, cycles uint64) {
+	m.cacheHits.Add(1)
+	m.cyclesServed.Add(cycles)
+	m.vecCacheHits.With(cell).Inc()
 }
 
-func (m *Metrics) cacheMiss() {
-	m.mu.Lock()
-	m.cacheMisses++
-	m.mu.Unlock()
+func (m *Metrics) cacheMiss(cell obs.Labels) {
+	m.cacheMisses.Add(1)
+	m.vecCacheMisses.With(cell).Inc()
 }
 
 // jobCoalesced records a submission that attached to an identical
 // in-flight execution instead of running the simulator again.
-func (m *Metrics) jobCoalesced() {
-	m.mu.Lock()
-	m.coalescedJbs++
-	m.mu.Unlock()
+func (m *Metrics) jobCoalesced(cell obs.Labels) {
+	m.coalescedJbs.Add(1)
+	m.vecCoalesced.With(cell).Inc()
 }
 
-func (m *Metrics) cyclesRun(cycles uint64) {
-	m.mu.Lock()
-	m.cyclesServed += cycles
-	m.mu.Unlock()
-}
+func (m *Metrics) cyclesRun(cycles uint64) { m.cyclesServed.Add(cycles) }
 
 // jobRetried records n transient-failure re-executions of one job.
-func (m *Metrics) jobRetried(n uint64) {
-	m.mu.Lock()
-	m.retries += n
-	m.mu.Unlock()
+func (m *Metrics) jobRetried(cell obs.Labels, n uint64) {
+	m.retries.Add(n)
+	m.vecRetries.With(cell).Add(n)
 }
 
 // determinismViolation records the determinism guard tripping.
-func (m *Metrics) determinismViolation() {
-	m.mu.Lock()
-	m.determinism++
-	m.mu.Unlock()
+func (m *Metrics) determinismViolation(cell obs.Labels) {
+	m.determinism.Add(1)
+	m.vecDeterminism.With(cell).Inc()
 }
 
 // loadShed records an admission rejected because the queue was full.
-func (m *Metrics) loadShed() {
-	m.mu.Lock()
-	m.shed++
-	m.mu.Unlock()
-}
+func (m *Metrics) loadShed() { m.shed.Add(1) }
 
 // breakerRejected records an admission rejected by an open breaker.
-func (m *Metrics) breakerRejected() {
-	m.mu.Lock()
-	m.breakerDrops++
-	m.mu.Unlock()
-}
+func (m *Metrics) breakerRejected() { m.breakerDrops.Add(1) }
 
 // journalAppendError records a lifecycle transition the durability
 // journal failed to persist.
-func (m *Metrics) journalAppendError() {
-	m.mu.Lock()
-	m.journalErrs++
-	m.mu.Unlock()
+func (m *Metrics) journalAppendError() { m.journalErrs.Add(1) }
+
+// JournalAppendErrors returns the journal append-error count — a
+// single atomic read, for callers (health checks) that do not need the
+// full quantile-sorting Snapshot.
+func (m *Metrics) JournalAppendErrors() uint64 { return m.journalErrs.Load() }
+
+// ExecP50 returns the rolling executed-job p50 latency from a cached
+// value refreshed at most once per second — the cheap read Retry-After
+// computation uses on every shed response, instead of copying and
+// sorting the full window under load.
+func (m *Metrics) ExecP50() time.Duration {
+	now := time.Now().UnixNano()
+	stamp := m.execP50Stamp.Load()
+	if stamp != 0 && now-stamp < int64(execP50TTL) {
+		return time.Duration(m.execP50Nanos.Load())
+	}
+	// One refresher wins the CAS; everyone else serves the (at worst
+	// one-TTL-stale) cached value without touching the window.
+	if !m.execP50Stamp.CompareAndSwap(stamp, now) {
+		return time.Duration(m.execP50Nanos.Load())
+	}
+	m.latMu.Lock()
+	window := m.exec.sortedCopy()
+	m.latMu.Unlock()
+	p50 := quantile(window, 0.50)
+	m.execP50Nanos.Store(int64(p50))
+	return p50
 }
+
+// invalidateExecP50 forces the next ExecP50 call to recompute — test
+// hook, so refresh behavior is observable without sleeping out the TTL.
+func (m *Metrics) invalidateExecP50() { m.execP50Stamp.Store(0) }
 
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
@@ -174,45 +258,61 @@ type Snapshot struct {
 	// endpoint degrades while it is non-zero).
 	JournalAppendErrors uint64 `json:"journal_append_errors"`
 	// P50 and P99 are latency quantiles over the most recent terminal
-	// jobs (a rolling window), in seconds.
+	// jobs (a rolling window, cache hits included), in seconds.
 	P50Seconds float64 `json:"latency_p50_seconds"`
 	P99Seconds float64 `json:"latency_p99_seconds"`
 	Samples    int     `json:"latency_samples"`
+	// ExecP50Seconds/ExecP99Seconds are the same quantiles over
+	// executed jobs only (the window behind the Retry-After drain
+	// estimate); cache hits and coalesced completions are excluded.
+	ExecP50Seconds float64 `json:"exec_latency_p50_seconds"`
+	ExecP99Seconds float64 `json:"exec_latency_p99_seconds"`
+	ExecSamples    int     `json:"exec_latency_samples"`
 }
 
-// Snapshot returns a consistent copy of the registry.
+// Snapshot returns a copy of the registry. Counters are read
+// atomically — concurrent updates may land between reads, but each
+// value is itself consistent and monotone.
 func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	running := m.running.Load()
+	if running < 0 {
+		running = 0
+	}
 	s := Snapshot{
-		Queued:       m.queued,
-		Running:      m.running,
-		Done:         m.done,
-		Failed:       m.failed,
-		Timeouts:     m.timeouts,
-		Panics:       m.panics,
-		CacheHits:    m.cacheHits,
-		CacheMisses:  m.cacheMisses,
-		Coalesced:    m.coalescedJbs,
-		CyclesServed: m.cyclesServed,
+		Queued:       m.queued.Load(),
+		Running:      uint64(running),
+		Done:         m.done.Load(),
+		Failed:       m.failed.Load(),
+		Timeouts:     m.timeouts.Load(),
+		Panics:       m.panics.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		Coalesced:    m.coalescedJbs.Load(),
+		CyclesServed: m.cyclesServed.Load(),
 
-		Retries:         m.retries,
-		Determinism:     m.determinism,
-		Shed:            m.shed,
-		BreakerRejected: m.breakerDrops,
+		Retries:         m.retries.Load(),
+		Determinism:     m.determinism.Load(),
+		Shed:            m.shed.Load(),
+		BreakerRejected: m.breakerDrops.Load(),
 
-		JournalAppendErrors: m.journalErrs,
+		JournalAppendErrors: m.journalErrs.Load(),
 	}
-	if probes := m.cacheHits + m.cacheMisses; probes > 0 {
-		s.CacheHitRate = float64(m.cacheHits) / float64(probes)
+	if probes := s.CacheHits + s.CacheMisses; probes > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(probes)
 	}
-	window := make([]time.Duration, len(m.latencies))
-	copy(window, m.latencies)
-	s.Samples = len(window)
-	if len(window) > 0 {
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		s.P50Seconds = quantile(window, 0.50).Seconds()
-		s.P99Seconds = quantile(window, 0.99).Seconds()
+	m.latMu.Lock()
+	all := m.all.sortedCopy()
+	exec := m.exec.sortedCopy()
+	m.latMu.Unlock()
+	s.Samples = len(all)
+	if len(all) > 0 {
+		s.P50Seconds = quantile(all, 0.50).Seconds()
+		s.P99Seconds = quantile(all, 0.99).Seconds()
+	}
+	s.ExecSamples = len(exec)
+	if len(exec) > 0 {
+		s.ExecP50Seconds = quantile(exec, 0.50).Seconds()
+		s.ExecP99Seconds = quantile(exec, 0.99).Seconds()
 	}
 	return s
 }
@@ -232,37 +332,65 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[idx]
 }
 
+// metricDesc describes one unlabeled metric for both text formats.
+type metricDesc struct {
+	name  string
+	typ   string // counter or gauge
+	help  string
+	value string
+}
+
+// describe lists every unlabeled metric in stable order.
+func (s Snapshot) describe() []metricDesc {
+	return []metricDesc{
+		{"simserved_jobs_queued_total", "counter", "Jobs accepted onto the pool queue.", fmt.Sprintf("%d", s.Queued)},
+		{"simserved_jobs_running", "gauge", "Jobs currently executing on a worker.", fmt.Sprintf("%d", s.Running)},
+		{"simserved_jobs_done_total", "counter", "Jobs finished successfully.", fmt.Sprintf("%d", s.Done)},
+		{"simserved_jobs_failed_total", "counter", "Jobs finished in error.", fmt.Sprintf("%d", s.Failed)},
+		{"simserved_jobs_timeout_total", "counter", "Jobs that hit the per-job deadline.", fmt.Sprintf("%d", s.Timeouts)},
+		{"simserved_jobs_panicked_total", "counter", "Jobs whose simulator panicked (isolated).", fmt.Sprintf("%d", s.Panics)},
+		{"simserved_cache_hits_total", "counter", "Jobs answered from the memo table.", fmt.Sprintf("%d", s.CacheHits)},
+		{"simserved_cache_misses_total", "counter", "Memo probes that missed.", fmt.Sprintf("%d", s.CacheMisses)},
+		{"simserved_cache_hit_rate", "gauge", "Memo hit fraction over all probes.", fmt.Sprintf("%.4f", s.CacheHitRate)},
+		{"simserved_jobs_coalesced_total", "counter", "Submissions attached to an identical in-flight execution.", fmt.Sprintf("%d", s.Coalesced)},
+		{"simserved_simulated_cycles_served_total", "counter", "Simulated machine cycles served (run or cached).", fmt.Sprintf("%d", s.CyclesServed)},
+		{"simserved_retries_total", "counter", "Transient-failure re-executions.", fmt.Sprintf("%d", s.Retries)},
+		{"simserved_determinism_violations_total", "counter", "Determinism-guard trips.", fmt.Sprintf("%d", s.Determinism)},
+		{"simserved_jobs_shed_total", "counter", "Admissions refused because the queue was full.", fmt.Sprintf("%d", s.Shed)},
+		{"simserved_breaker_rejected_total", "counter", "Admissions refused by an open circuit breaker.", fmt.Sprintf("%d", s.BreakerRejected)},
+		{"simserved_journal_append_errors_total", "counter", "Lifecycle transitions the durability journal failed to persist.", fmt.Sprintf("%d", s.JournalAppendErrors)},
+		{"simserved_job_latency_p50_seconds", "gauge", "p50 latency over the rolling terminal-job window (cache hits included).", fmt.Sprintf("%.6f", s.P50Seconds)},
+		{"simserved_job_latency_p99_seconds", "gauge", "p99 latency over the rolling terminal-job window (cache hits included).", fmt.Sprintf("%.6f", s.P99Seconds)},
+		{"simserved_job_latency_samples", "gauge", "Samples in the rolling terminal-job window.", fmt.Sprintf("%d", s.Samples)},
+		{"simserved_exec_latency_p50_seconds", "gauge", "p50 latency over executed jobs only (the Retry-After drain estimate).", fmt.Sprintf("%.6f", s.ExecP50Seconds)},
+		{"simserved_exec_latency_p99_seconds", "gauge", "p99 latency over executed jobs only.", fmt.Sprintf("%.6f", s.ExecP99Seconds)},
+		{"simserved_exec_latency_samples", "gauge", "Samples in the executed-job window.", fmt.Sprintf("%d", s.ExecSamples)},
+	}
+}
+
 // WriteText renders the snapshot in the flat `name value` text format
 // of the /metrics endpoint.
 func (s Snapshot) WriteText(w io.Writer) error {
-	lines := []struct {
-		name  string
-		value string
-	}{
-		{"simserved_jobs_queued_total", fmt.Sprintf("%d", s.Queued)},
-		{"simserved_jobs_running", fmt.Sprintf("%d", s.Running)},
-		{"simserved_jobs_done_total", fmt.Sprintf("%d", s.Done)},
-		{"simserved_jobs_failed_total", fmt.Sprintf("%d", s.Failed)},
-		{"simserved_jobs_timeout_total", fmt.Sprintf("%d", s.Timeouts)},
-		{"simserved_jobs_panicked_total", fmt.Sprintf("%d", s.Panics)},
-		{"simserved_cache_hits_total", fmt.Sprintf("%d", s.CacheHits)},
-		{"simserved_cache_misses_total", fmt.Sprintf("%d", s.CacheMisses)},
-		{"simserved_cache_hit_rate", fmt.Sprintf("%.4f", s.CacheHitRate)},
-		{"simserved_jobs_coalesced_total", fmt.Sprintf("%d", s.Coalesced)},
-		{"simserved_simulated_cycles_served_total", fmt.Sprintf("%d", s.CyclesServed)},
-		{"simserved_retries_total", fmt.Sprintf("%d", s.Retries)},
-		{"simserved_determinism_violations_total", fmt.Sprintf("%d", s.Determinism)},
-		{"simserved_jobs_shed_total", fmt.Sprintf("%d", s.Shed)},
-		{"simserved_breaker_rejected_total", fmt.Sprintf("%d", s.BreakerRejected)},
-		{"simserved_journal_append_errors_total", fmt.Sprintf("%d", s.JournalAppendErrors)},
-		{"simserved_job_latency_p50_seconds", fmt.Sprintf("%.6f", s.P50Seconds)},
-		{"simserved_job_latency_p99_seconds", fmt.Sprintf("%.6f", s.P99Seconds)},
-		{"simserved_job_latency_samples", fmt.Sprintf("%d", s.Samples)},
-	}
-	for _, l := range lines {
-		if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.value); err != nil {
+	for _, d := range s.describe() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", d.name, d.value); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WritePrometheus renders the full registry — the unlabeled snapshot
+// totals plus every per-(machine, kernel) labeled series — in the
+// Prometheus text exposition format (HELP/TYPE comments, escaped
+// labels, histogram buckets).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	for _, d := range m.Snapshot().describe() {
+		if err := obs.WritePromHeader(w, d.name, d.help, d.typ); err != nil {
+			return err
+		}
+		if err := obs.WritePromSample(w, d.name, obs.Labels{}, "", "", d.value); err != nil {
+			return err
+		}
+	}
+	return m.reg.WritePrometheus(w)
 }

@@ -11,6 +11,7 @@ import (
 	"sigkern/internal/cache"
 	"sigkern/internal/core"
 	"sigkern/internal/faults"
+	"sigkern/internal/obs"
 	"sigkern/internal/resilience"
 )
 
@@ -55,6 +56,15 @@ type Task struct {
 	// MemoKey enables result memoization when non-empty: a hit skips
 	// Run entirely, and a successful Run is stored under the key.
 	MemoKey string
+	// Cell identifies the (machine, kernel) Table 3 cell this task
+	// belongs to; per-cell labeled metrics are recorded under it. The
+	// zero value records into the unlabeled totals only.
+	Cell obs.Labels
+	// OnRetry, when set, is called before each re-execution of a task
+	// whose previous attempt failed transiently, with the 1-based
+	// attempt number about to run and the error that caused the retry.
+	// Called from the worker goroutine; must be safe for that.
+	OnRetry func(attempt int, err error)
 	Run     func(ctx context.Context) (core.Result, error)
 }
 
@@ -65,6 +75,9 @@ type Future struct {
 	err  error
 	// fromCache is true when the result came from the memo table.
 	fromCache bool
+	// elapsed is the wall-clock execution time (0 for cache hits and
+	// never-run tasks).
+	elapsed time.Duration
 	// started is closed when a worker picks the task up.
 	started chan struct{}
 }
@@ -82,6 +95,11 @@ func (f *Future) Wait(ctx context.Context) (core.Result, error) {
 // FromCache reports whether the result was served from the memo table.
 // Valid only after Wait returns.
 func (f *Future) FromCache() bool { return f.fromCache }
+
+// Elapsed returns the wall-clock time the task spent executing (zero
+// for cache hits and tasks that never ran). Valid only after Wait
+// returns.
+func (f *Future) Elapsed() time.Duration { return f.elapsed }
 
 // PoolOptions configures a Pool. The zero value is usable: GOMAXPROCS
 // workers, a 2-minute per-job timeout, a 1024-entry memo table, and the
@@ -271,21 +289,21 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		if r, ok := p.memo.Get(t.MemoKey); ok {
 			p.metrics.jobQueued()
 			if raw, ok := p.memo.Peek(t.MemoKey); !ok || raw.Cycles != r.Cycles || raw.Verified != r.Verified {
-				p.metrics.determinismViolation()
-				p.metrics.jobFinished(false, false, false, false, 0)
+				p.metrics.determinismViolation(t.Cell)
+				p.metrics.jobFinished(t.Cell, false, false, false, false, 0)
 				fut.err = fmt.Errorf("svc: job %q: memoized result failed verification: %w", t.Label, ErrDeterminism)
 				close(fut.started)
 				close(fut.done)
 				return fut, nil
 			}
-			p.metrics.cacheHit(r.Cycles)
-			p.metrics.jobFinished(false, true, false, false, 0)
+			p.metrics.cacheHit(t.Cell, r.Cycles)
+			p.metrics.jobFinished(t.Cell, false, true, false, false, 0)
 			fut.res, fut.fromCache = r, true
 			close(fut.started)
 			close(fut.done)
 			return fut, nil
 		}
-		p.metrics.cacheMiss()
+		p.metrics.cacheMiss(t.Cell)
 	}
 
 	// Coalesce duplicate in-flight work: if an execution for the same
@@ -297,7 +315,7 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		p.inflightMu.Lock()
 		if leader, ok := p.inflight[t.MemoKey]; ok {
 			p.inflightMu.Unlock()
-			p.metrics.jobCoalesced()
+			p.metrics.jobCoalesced(t.Cell)
 			return leader, nil
 		}
 		p.inflight[t.MemoKey] = fut
@@ -360,7 +378,7 @@ func (p *Pool) Close() {
 		select {
 		case item := <-p.tasks:
 			item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
-			p.metrics.jobFinished(false, false, false, false, 0)
+			p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
 			p.removeFlight(item.task.MemoKey, item.fut)
 			close(item.fut.started)
 			close(item.fut.done)
@@ -403,15 +421,22 @@ func (p *Pool) execute(item poolItem) {
 	defer cancel()
 
 	var res core.Result
+	var attempt int
+	var lastErr error
 	attempts, err := p.opts.Retry.Do(ctx, func(ctx context.Context) error {
+		attempt++
+		if attempt > 1 && item.task.OnRetry != nil {
+			item.task.OnRetry(attempt, lastErr)
+		}
 		r, aerr := p.runAttempt(ctx, item.task)
 		if aerr == nil {
 			res = r
 		}
+		lastErr = aerr
 		return aerr
 	})
 	if attempts > 1 {
-		p.metrics.jobRetried(uint64(attempts - 1))
+		p.metrics.jobRetried(item.task.Cell, uint64(attempts-1))
 	}
 	// The per-job context's only cancellation path (as opposed to
 	// deadline) is pool shutdown, so report abandoned in-flight work as
@@ -430,7 +455,7 @@ func (p *Pool) execute(item poolItem) {
 		// bit. The simulators are deterministic, so a mismatch is
 		// corruption and is surfaced as a hard error.
 		if prev, ok := p.memo.Peek(item.task.MemoKey); ok && prev.Cycles != res.Cycles {
-			p.metrics.determinismViolation()
+			p.metrics.determinismViolation(item.task.Cell)
 			err = fmt.Errorf("svc: job %q: ran to %d cycles but %d are memoized for the same spec: %w",
 				item.task.Label, res.Cycles, prev.Cycles, ErrDeterminism)
 		} else {
@@ -440,7 +465,8 @@ func (p *Pool) execute(item poolItem) {
 	if err == nil {
 		p.metrics.cyclesRun(res.Cycles)
 	}
-	p.metrics.jobFinished(true, err == nil, timedOut, panicked, time.Since(start))
+	elapsed := time.Since(start)
+	p.metrics.jobFinished(item.task.Cell, true, err == nil, timedOut, panicked, elapsed)
 	if err != nil {
 		res = core.Result{}
 	}
@@ -449,7 +475,7 @@ func (p *Pool) execute(item poolItem) {
 	// narrow window between, a fresh execution is correct, a stale
 	// attachment is not.
 	p.removeFlight(item.task.MemoKey, item.fut)
-	item.fut.res, item.fut.err = res, err
+	item.fut.res, item.fut.err, item.fut.elapsed = res, err, elapsed
 	close(item.fut.done)
 }
 

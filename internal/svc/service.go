@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"sigkern/internal/faults"
 	"sigkern/internal/journal"
 	"sigkern/internal/machines"
+	"sigkern/internal/obs"
 	"sigkern/internal/resilience"
 )
 
@@ -35,6 +37,10 @@ type Options struct {
 	// zero value uses resilience defaults (5 consecutive failures trip
 	// a 5s open interval).
 	Breaker resilience.BreakerConfig
+	// Logger receives structured request logs from the HTTP layer
+	// (method, path, status, duration, request ID). nil disables
+	// access logging; request-ID propagation stays on either way.
+	Logger *slog.Logger
 }
 
 // Service is the simulation job-queue service: it tracks submitted jobs
@@ -45,6 +51,7 @@ type Service struct {
 	factory  MachineFactory
 	maxJobs  int
 	breakers *resilience.BreakerSet
+	logger   *slog.Logger
 	// journal, when set, is the write-ahead log every job lifecycle
 	// transition is appended to (see OpenDurable); nil means the
 	// registry is memory-only, the pre-durability behavior.
@@ -83,6 +90,7 @@ func NewService(opts Options) *Service {
 		factory:  machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
 		maxJobs:  opts.MaxJobs,
 		breakers: resilience.NewBreakerSet(opts.Breaker),
+		logger:   opts.Logger,
 		jobs:     make(map[string]*Job),
 		evicted:  make(map[string]bool),
 		idem:     make(map[string]string),
@@ -169,7 +177,7 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 	if key != "" {
 		if id, ok := s.idem[key]; ok {
 			if j, live := s.jobs[id]; live {
-				cp := *j
+				cp := j.clone(true)
 				s.mu.Unlock()
 				if !block {
 					// The admitted slot was never used: an idempotent
@@ -190,6 +198,9 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 		State:     Queued,
 		Submitted: time.Now(),
 	}
+	// One backing array sized for the common accepted→queued→started→done
+	// lifecycle; only retries grow it.
+	job.Trace = append(make([]obs.Event, 0, 4), obs.Event{Name: obs.EventAccepted, Time: job.Submitted})
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	if key != "" {
@@ -210,12 +221,20 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 		}
 		return Job{}, false, jerr
 	}
+	// The queued event lands before the pool sees the task so a cache
+	// hit's completion goroutine can never write its terminal event
+	// first and leave the trace out of order.
+	job.Trace = append(job.Trace, obs.Event{Name: obs.EventQueued, Time: time.Now()})
 	s.evictLocked()
 	s.mu.Unlock()
 
 	task := Task{
 		Label:   fmt.Sprintf("%s/%s", norm.Machine, norm.Kernel),
 		MemoKey: hash,
+		Cell:    obs.Labels{Machine: norm.Machine, Kernel: string(norm.Kernel)},
+		OnRetry: func(attempt int, err error) {
+			s.traceEvent(job.ID, obs.EventRetried, fmt.Sprintf("attempt %d: %v", attempt, err))
+		},
 		Run: func(context.Context) (core.Result, error) {
 			s.markRunning(job.ID)
 			return runSpec(s.factory, norm)
@@ -287,6 +306,15 @@ func (s *Service) removeFromOrderLocked(id string) {
 	}
 }
 
+// traceEvent appends one lifecycle event to a live job's trace.
+func (s *Service) traceEvent(id, name, note string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.Trace = append(j.Trace, obs.Event{Name: name, Time: time.Now(), Note: note})
+	}
+}
+
 // Job returns a snapshot of the job with the given ID.
 func (s *Service) Job(id string) (Job, bool) {
 	s.mu.Lock()
@@ -295,17 +323,31 @@ func (s *Service) Job(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return *j, true
+	return j.clone(true), true
+}
+
+// JobTrace returns a copy of the job's lifecycle trace and its current
+// state.
+func (s *Service) JobTrace(id string) ([]obs.Event, State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return append([]obs.Event(nil), j.Trace...), j.State, true
 }
 
 // Jobs returns snapshots of every tracked job in submission order.
+// List snapshots omit the lifecycle trace; fetch a single job (or its
+// trace endpoint) for the events.
 func (s *Service) Jobs() []Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Job, 0, len(s.order))
 	for _, id := range s.order {
 		if j, ok := s.jobs[id]; ok {
-			out = append(out, *j)
+			out = append(out, j.clone(false))
 		}
 	}
 	return out
@@ -344,7 +386,7 @@ func (s *Service) JobsPage(after string, limit int) (jobs []Job, next string, to
 	jobs = make([]Job, 0, end-start)
 	for _, id := range s.order[start:end] {
 		if j, ok := s.jobs[id]; ok {
-			jobs = append(jobs, *j)
+			jobs = append(jobs, j.clone(false))
 		}
 	}
 	if end < total && len(jobs) > 0 {
@@ -393,6 +435,7 @@ func (s *Service) markRunning(id string) {
 	if j, ok := s.jobs[id]; ok && j.State == Queued {
 		j.State = Running
 		j.Started = time.Now()
+		j.Trace = append(j.Trace, obs.Event{Name: obs.EventStarted, Time: j.Started})
 		s.journalEventLocked(eventStarted, j)
 	}
 }
@@ -415,12 +458,18 @@ func (s *Service) finish(id string, res core.Result, fromCache bool, err error) 
 			j.interrupted = true
 			return
 		}
+		j.Trace = append(j.Trace, obs.Event{Name: obs.EventFailed, Time: j.Finished, Note: j.Error})
 		s.journalEventLocked(eventFailed, j)
 		return
 	}
 	j.State = Done
 	r := res
 	j.Result = &r
+	note := ""
+	if fromCache {
+		note = "cache hit"
+	}
+	j.Trace = append(j.Trace, obs.Event{Name: obs.EventDone, Time: j.Finished, Note: note})
 	s.journalEventLocked(eventDone, j)
 }
 
@@ -428,7 +477,7 @@ func (s *Service) snapshot(id string) Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
-		return *j
+		return j.clone(true)
 	}
 	return Job{}
 }

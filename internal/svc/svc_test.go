@@ -15,6 +15,7 @@ import (
 	"sigkern/internal/kernels/cornerturn"
 	"sigkern/internal/kernels/cslc"
 	"sigkern/internal/kernels/fft"
+	"sigkern/internal/obs"
 )
 
 // smallWorkload returns a workload small enough to simulate in
@@ -343,7 +344,7 @@ func TestServiceConcurrentSubmitters(t *testing.T) {
 func TestMetricsQuantiles(t *testing.T) {
 	m := NewMetrics()
 	for i := 1; i <= 100; i++ {
-		m.jobFinished(false, true, false, false, time.Duration(i)*time.Millisecond)
+		m.jobFinished(obs.Labels{}, false, true, false, false, time.Duration(i)*time.Millisecond)
 	}
 	snap := m.Snapshot()
 	if snap.Samples != 100 {

@@ -11,6 +11,15 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+# staticcheck is optional locally (CI installs it); the gate still
+# passes on machines without the binary rather than forcing a download.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck: not installed, skipping (CI runs it)"
+fi
+
 echo "== go test -race ./..."
 go test -race ./...
 
