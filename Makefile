@@ -72,7 +72,7 @@ bench-json:
 # that cannot be noise.
 BENCH_TOL ?= 0.30
 benchdiff: bench-json
-	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR4.json BENCH.json
+	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR6.json BENCH.json
 
 clean:
 	$(GO) clean ./...

@@ -56,7 +56,7 @@ func benchKernel(b *testing.B, m core.Machine, k core.KernelID) {
 
 func BenchmarkTable1PeakThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if rows := perfmodel.Table1(); len(rows) != 3 {
+		if rows := perfmodel.Table1(); len(rows) != 5 {
 			b.Fatal("Table 1 incomplete")
 		}
 	}
@@ -712,4 +712,55 @@ func BenchmarkAblationVIRAMCornerTurnFormulation(b *testing.B) {
 			b.ReportMetric(r.KCycles(), "sim-kcycles")
 		})
 	}
+}
+
+// BenchmarkEstimateTier quantifies the quality-tier gap the estimate
+// tier exists for: answering one job from the analytic roofline model
+// (normalize, hash, memo, synthesize) versus actually running the
+// simulator cold for the same kind of question. The acceptance target
+// is >=100x lower ns/op on the estimate leg; in practice the gap is
+// orders of magnitude wider.
+func BenchmarkEstimateTier(b *testing.B) {
+	b.Run("estimate", func(b *testing.B) {
+		s := svc.NewService(svc.Options{Pool: svc.PoolOptions{Workers: 1}})
+		defer s.Close()
+		spec := svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn}
+		if _, err := s.Estimate(spec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			job, err := s.Estimate(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = job.Result.Cycles
+		}
+		b.ReportMetric(float64(cycles)/1e3, "est-kcycles")
+	})
+
+	b.Run("cold-simulate", func(b *testing.B) {
+		// A fresh machine per iteration, no memo: what every estimate
+		// avoids. A 256x256 corner turn keeps iterations short while
+		// staying a real simulation.
+		w := core.PaperWorkload()
+		w.CornerTurn = cornerturn.Spec{Rows: 256, Cols: 256, BlockSize: 32}
+		var last core.Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := machines.ByName("VIRAM")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := core.Run(m, core.CornerTurn, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = r
+		}
+		b.ReportMetric(last.KCycles(), "sim-kcycles")
+	})
 }

@@ -1,0 +1,61 @@
+// Command roofline renders the analytic predicted-cycles grid — the
+// paper's Table 4, regenerated from the generalized roofline model and
+// extended to every kernel with declared metadata — and, unless
+// -model-only is set, simulates each cell with a machine implementation
+// and reports the per-cell model-vs-simulated error.
+//
+// Usage:
+//
+//	roofline                  # full grid with simulated error ratios
+//	roofline -model-only      # analytic bounds only (microseconds)
+//	roofline -format csv      # raw cycle counts for downstream tooling
+//	roofline -format json     # the GET /v1/roofline payload
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sigkern/internal/report"
+	"sigkern/internal/svc"
+)
+
+func main() {
+	modelOnly := flag.Bool("model-only", false, "skip simulation; print analytic bounds only")
+	format := flag.String("format", "text", "output format: text, csv, or json")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulations to run in parallel")
+	flag.Parse()
+
+	s := svc.NewService(svc.Options{Pool: svc.PoolOptions{Workers: *workers, JobTimeout: 10 * time.Minute}})
+	defer s.Close()
+
+	rd, err := s.Roofline(context.Background(), !*modelOnly)
+	if err != nil {
+		fail(err)
+	}
+	switch *format {
+	case "text":
+		err = report.RenderRoofline(os.Stdout, rd.Title, rd.Cells)
+	case "csv":
+		err = report.RooflineCSV(os.Stdout, rd.Cells)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rd)
+	default:
+		err = fmt.Errorf("unknown format %q (want text, csv, or json)", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "roofline: %v\n", err)
+	os.Exit(1)
+}

@@ -10,11 +10,17 @@
 //
 //	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks,
 //	                     ?timeout=30s bounds the wait; an Idempotency-Key
-//	                     header makes retries safe
+//	                     header makes retries safe. ?tier=estimate answers
+//	                     synchronously from the analytic roofline model in
+//	                     microseconds (no pool admission, no journal write);
+//	                     the default ?tier=simulate runs the simulator
 //	GET  /v1/jobs        list jobs (?limit= page size, ?after= cursor)
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /v1/jobs/{id}/trace  job lifecycle trace (accepted/queued/started/...)
 //	GET  /v1/tables/3    the paper's Table 3, machine-parallel (?format=text)
+//	GET  /v1/roofline    predicted-cycles grid with per-cell model error
+//	                     (Table 4, regenerated and extended); ?sim=0 for
+//	                     model-only, ?format=text for the report table
 //	GET  /metrics        metrics: flat text by default; ?format=prometheus
 //	                     for Prometheus exposition, ?format=json for JSON
 //	GET  /healthz        queue depth, breaker states, journal lag; 200 when
@@ -31,7 +37,12 @@
 // faults, see SIGKERN_FAULTS in internal/faults) are retried with
 // backoff, and every result served is checked against the memoized
 // cycle count for its spec hash — a determinism violation is a hard
-// error, never a silently wrong number.
+// error, never a silently wrong number. Every fresh simulation is also
+// compared against the analytic roofline bound for its cell: a result
+// outside the model-error envelope increments the
+// simserved_model_drift_alerts_total counter and shows up in the
+// per-cell simserved_cell_model_error_ratio gauge, so a simulator
+// drifting from its own model fires a visible alert.
 //
 // Durability: with -journal DIR every job lifecycle transition is
 // written to an append-only log before it is acknowledged (-fsync

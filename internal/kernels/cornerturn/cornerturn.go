@@ -44,6 +44,12 @@ func (s Spec) Validate() error {
 // write each).
 func (s Spec) Words() uint64 { return uint64(s.Rows) * uint64(s.Cols) }
 
+// MoveOps returns the instruction-issue cost of the transpose: one load
+// and one store per element, with no arithmetic between them. On
+// machines without wide memory operations this issue rate, not the
+// memory system, can be the binding bound (Raw in the paper's Table 4).
+func (s Spec) MoveOps() uint64 { return 2 * s.Words() }
+
 // Transpose computes dst = src^T with a simple doubly nested loop. It is
 // the golden reference. dst must be Cols x Rows when src is Rows x Cols.
 func Transpose(dst, src *testsig.Matrix) error {

@@ -113,3 +113,8 @@ func ResidualPower(x, eq []complex128, phase int32, phaseLSB float64) float64 {
 // OpsPerSample returns real operations per output sample: Taps complex
 // MACs plus the final rotation.
 func (s Spec) OpsPerSample() uint64 { return uint64(8*s.Taps) + 6 }
+
+// WordsPerSample returns streaming memory traffic per sample in 32-bit
+// words: one complex sample in and one out (two words each). The short
+// per-beam coefficient vectors stay resident and are excluded.
+func (s Spec) WordsPerSample() uint64 { return 4 }

@@ -44,6 +44,15 @@ func (s Spec) MACs() uint64 { return uint64(s.M) * uint64(s.N) * uint64(s.K) }
 // Flops returns the real-operation count (a MAC is a multiply and an add).
 func (s Spec) Flops() uint64 { return 2 * s.MACs() }
 
+// MinWords returns the compulsory memory traffic in 32-bit words: each
+// operand read once and the product written once, the floor a blocked
+// implementation with perfect reuse approaches. With the default spec
+// the arithmetic intensity Flops/MinWords is ~170, so the analytic
+// bound is compute-side on every machine.
+func (s Spec) MinWords() uint64 {
+	return uint64(s.M)*uint64(s.K) + uint64(s.K)*uint64(s.N) + uint64(s.M)*uint64(s.N)
+}
+
 // Mat is a dense row-major float64 matrix.
 type Mat struct {
 	Rows, Cols int

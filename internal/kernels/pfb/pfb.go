@@ -93,6 +93,17 @@ func (w Workload) TotalOps() uint64 {
 	return uint64(w.FrameCount()) * w.OpsPerFrame()
 }
 
+// Words returns the workload's streaming memory traffic in 32-bit
+// words: every complex input sample read once (two words) and every
+// complex output-frame bin written once (two words). The prototype
+// coefficients are reused across frames and excluded, matching the
+// compulsory-traffic convention of the analytic model.
+func (w Workload) Words() uint64 {
+	in := 2 * uint64(w.Samples)
+	out := 2 * uint64(w.FrameCount()) * uint64(w.Channels)
+	return in + out
+}
+
 // Verify channelizes a deterministic two-tone input and proves the fast
 // path against DirectFrame on a sample of frames; machine models use it
 // as their functional-verification step.

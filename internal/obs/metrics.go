@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,69 @@ func (v *CounterVec) With(l Labels) *Counter {
 
 // discard absorbs observations made with zero Labels.
 var discard Counter
+
+// Gauge is one instantaneous-value series (a float64 set atomically via
+// its bit pattern). All methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a family of gauges keyed by Labels, with the same
+// zero-label discard behavior as CounterVec.
+type GaugeVec struct {
+	name string
+	help string
+
+	mu       sync.RWMutex
+	children map[Labels]*Gauge
+}
+
+// Name returns the metric family name.
+func (v *GaugeVec) Name() string { return v.name }
+
+// With returns the gauge for l, creating it on first use. The zero
+// Labels value returns a shared throwaway gauge that is never exposed.
+func (v *GaugeVec) With(l Labels) *Gauge {
+	if l.IsZero() {
+		return &discardGauge
+	}
+	v.mu.RLock()
+	g, ok := v.children[l]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[l]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.children[l] = g
+	return g
+}
+
+// discardGauge absorbs observations made with zero Labels.
+var discardGauge Gauge
+
+// Values returns a copy of every (labels, value) pair, sorted by
+// machine then kernel for stable exposition.
+func (v *GaugeVec) Values() []LabeledValue {
+	v.mu.RLock()
+	out := make([]LabeledValue, 0, len(v.children))
+	for l, g := range v.children {
+		out = append(out, LabeledValue{Labels: l, Value: g.Value()})
+	}
+	v.mu.RUnlock()
+	sortLabeled(out)
+	return out
+}
 
 // Values returns a copy of every (labels, count) pair, sorted by
 // machine then kernel for stable exposition.
@@ -223,6 +287,7 @@ type labeledHistogram struct {
 type Registry struct {
 	mu       sync.Mutex
 	counters []*CounterVec
+	gauges   []*GaugeVec
 	hists    []*HistogramVec
 }
 
@@ -234,6 +299,15 @@ func (r *Registry) NewCounterVec(name, help string) *CounterVec {
 	v := &CounterVec{name: name, help: help, children: make(map[Labels]*Counter)}
 	r.mu.Lock()
 	r.counters = append(r.counters, v)
+	r.mu.Unlock()
+	return v
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, children: make(map[Labels]*Gauge)}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, v)
 	r.mu.Unlock()
 	return v
 }

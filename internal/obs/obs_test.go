@@ -132,11 +132,30 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.NewGaugeVec("ratio", "Model error, per cell.")
+	cell := Labels{Machine: "VIRAM", Kernel: "corner-turn"}
+	gv.With(cell).Set(1.51)
+	gv.With(cell).Set(1.49) // gauges overwrite, not accumulate
+	if got := gv.With(cell).Value(); got != 1.49 {
+		t.Fatalf("gauge = %v, want 1.49", got)
+	}
+	// Zero labels are discarded, never exposed.
+	gv.With(Labels{}).Set(99)
+	vals := gv.Values()
+	if len(vals) != 1 || vals[0].Labels != cell || vals[0].Value != 1.49 {
+		t.Fatalf("values = %+v", vals)
+	}
+}
+
 func TestWritePrometheusFormat(t *testing.T) {
 	reg := NewRegistry()
 	cv := reg.NewCounterVec("jobs_total", "Jobs, per cell.")
+	gv := reg.NewGaugeVec("err_ratio", "Model error, per cell.")
 	hv := reg.NewHistogramVec("lat_seconds", "Latency, per cell.", []float64{0.1, 1})
 	cv.With(Labels{Machine: "VIRAM", Kernel: "corner-turn"}).Add(7)
+	gv.With(Labels{Machine: "VIRAM", Kernel: "corner-turn"}).Set(1.5)
 	hv.With(Labels{Machine: "VIRAM", Kernel: "corner-turn"}).Observe(50 * time.Millisecond)
 	hv.With(Labels{Machine: "VIRAM", Kernel: "corner-turn"}).Observe(30 * time.Second)
 
@@ -149,6 +168,8 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"# HELP jobs_total Jobs, per cell.",
 		"# TYPE jobs_total counter",
 		`jobs_total{machine="VIRAM",kernel="corner-turn"} 7`,
+		"# TYPE err_ratio gauge",
+		`err_ratio{machine="VIRAM",kernel="corner-turn"} 1.5`,
 		"# TYPE lat_seconds histogram",
 		`lat_seconds_bucket{machine="VIRAM",kernel="corner-turn",le="0.1"} 1`,
 		`lat_seconds_bucket{machine="VIRAM",kernel="corner-turn",le="1"} 1`,

@@ -70,6 +70,7 @@ func WritePromSample(w io.Writer, name string, l Labels, extraKey, extraVal stri
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	counters := append([]*CounterVec(nil), r.counters...)
+	gauges := append([]*GaugeVec(nil), r.gauges...)
 	hists := append([]*HistogramVec(nil), r.hists...)
 	r.mu.Unlock()
 
@@ -79,6 +80,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			continue
 		}
 		if err := WritePromHeader(w, v.name, v.help, "counter"); err != nil {
+			return err
+		}
+		for _, lv := range vals {
+			if err := WritePromSample(w, v.name, lv.Labels, "", "", formatFloat(lv.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range gauges {
+		vals := v.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		if err := WritePromHeader(w, v.name, v.help, "gauge"); err != nil {
 			return err
 		}
 		for _, lv := range vals {

@@ -11,10 +11,12 @@ import (
 
 func TestTable1Rows(t *testing.T) {
 	rows := Table1()
-	if len(rows) != 3 {
-		t.Fatalf("Table 1 has %d rows, want 3", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
 	}
 	want := map[string][3]float64{
+		"PPC":     {1, 1, 2},
+		"AltiVec": {4, 1, 5},
 		"VIRAM":   {8, 2, 8},
 		"Imagine": {16, 2, 48},
 		"Raw":     {16, 16, 16},
@@ -27,6 +29,29 @@ func TestTable1Rows(t *testing.T) {
 		if r.OnChipRW != w[0] || r.OffChipRW != w[1] || r.Compute != w[2] {
 			t.Fatalf("%s: got %v/%v/%v, want %v", r.Machine, r.OnChipRW, r.OffChipRW, r.Compute, w)
 		}
+	}
+	// The baselines run their kernels against off-chip memory and have
+	// no special strided or integer paths.
+	for _, name := range []string{"PPC", "AltiVec"} {
+		r, err := ForMachine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.KernelMemoryOnChip || r.StridedRW != 0 || r.IntCompute != 0 {
+			t.Fatalf("%s: unexpected research-architecture fields %+v", name, r)
+		}
+	}
+}
+
+func TestTable1Shared(t *testing.T) {
+	// The table is hoisted to package level: repeated calls hand out the
+	// same backing array instead of allocating.
+	a, b := Table1(), Table1()
+	if &a[0] != &b[0] {
+		t.Fatal("Table1 allocated a fresh slice")
+	}
+	if n := testing.AllocsPerRun(100, func() { _, _ = ForMachine("VIRAM") }); n != 0 {
+		t.Fatalf("ForMachine allocates %v per call", n)
 	}
 }
 
@@ -124,8 +149,20 @@ func TestTable4(t *testing.T) {
 			t.Fatalf("%s: measured beat the peak model (ratio %.2f)", r.Machine, r.Ratio())
 		}
 	}
-	// Missing machines are an error.
-	if _, err := Table4(spec, map[string]uint64{"VIRAM": 1}); err == nil {
-		t.Fatal("incomplete measurements accepted")
+	// A partial study reconstructs its slice of the table, in Table 1
+	// machine order.
+	partial, err := Table4(spec, map[string]uint64{"Raw": 150_000, "PPC": 28_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) != 2 || partial[0].Machine != "PPC" || partial[1].Machine != "Raw" {
+		t.Fatalf("partial rows %+v", partial)
+	}
+	// Machines without a Table 1 row, and empty measurements, are errors.
+	if _, err := Table4(spec, map[string]uint64{"G5": 1}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := Table4(spec, nil); err == nil {
+		t.Fatal("empty measurements accepted")
 	}
 }

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"sigkern/internal/roofline"
+)
+
+// rooflineRows renders the grid cells into table rows: one row per
+// (machine, kernel) cell, machines in Table 1 order as produced by
+// roofline.Grid. Model-only cells leave the simulation columns blank.
+func rooflineRows(cells []roofline.Cell) [][]string {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		sim, ratio, ok := "-", "-", "-"
+		if c.Simulated {
+			sim = KCycles(c.SimCycles)
+			ratio = fmt.Sprintf("%.2f", c.ErrorRatio)
+			if c.WithinEnvelope {
+				ok = "yes"
+			} else {
+				ok = "DRIFT"
+			}
+		}
+		rows = append(rows, []string{
+			c.Machine,
+			string(c.Kernel),
+			c.Bound,
+			KCycles(c.PeakCycles),
+			KCycles(c.Cycles),
+			sim,
+			ratio,
+			fmt.Sprintf("[%.0f, %.0f]", c.EnvelopeLo, c.EnvelopeHi),
+			ok,
+		})
+	}
+	return rows
+}
+
+// rooflineHeaders labels the grid columns; the model columns are the
+// paper's Table 4 "peak" and "strided" expectations, the ratio its
+// "measured/expected" column.
+var rooflineHeaders = []string{
+	"Machine", "Kernel", "Bound", "Peak model", "Model", "Simulated", "Sim/Model", "Envelope", "OK",
+}
+
+// RenderRoofline writes the predicted-cycles grid — the regenerated and
+// extended Table 4 — as an aligned text table. Cycle columns are in
+// kilocycles like the paper's tables; cells outside their model-error
+// envelope render DRIFT in the OK column.
+func RenderRoofline(w io.Writer, title string, cells []roofline.Cell) error {
+	return Table(w, title, rooflineHeaders, rooflineRows(cells))
+}
+
+// RooflineCSV writes the grid in CSV with raw cycle counts (not the
+// kilocycle reporting unit), for downstream tooling.
+func RooflineCSV(w io.Writer, cells []roofline.Cell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		sim, ratio, within := "", "", ""
+		if c.Simulated {
+			sim = fmt.Sprintf("%d", c.SimCycles)
+			ratio = fmt.Sprintf("%.4f", c.ErrorRatio)
+			within = fmt.Sprintf("%t", c.WithinEnvelope)
+		}
+		rows = append(rows, []string{
+			c.Machine,
+			string(c.Kernel),
+			c.Bound,
+			fmt.Sprintf("%d", c.ComputeBound),
+			fmt.Sprintf("%d", c.MemBound),
+			fmt.Sprintf("%d", c.PeakCycles),
+			fmt.Sprintf("%d", c.Cycles),
+			sim,
+			ratio,
+			fmt.Sprintf("%g", c.EnvelopeLo),
+			fmt.Sprintf("%g", c.EnvelopeHi),
+			within,
+		})
+	}
+	headers := []string{
+		"machine", "kernel", "bound", "compute_bound_cycles", "memory_bound_cycles",
+		"peak_cycles", "cycles", "simulated_cycles", "error_ratio",
+		"envelope_lo", "envelope_hi", "within_envelope",
+	}
+	return CSV(w, headers, rows)
+}

@@ -43,10 +43,18 @@ const StatusClientClosedRequest = 499
 //	                         ?timeout=30s bounds the wait. Saturation is
 //	                         shed with 429 + Retry-After; an open machine
 //	                         breaker answers 503 + Retry-After.
+//	                         ?tier=estimate answers synchronously from
+//	                         the analytic roofline model (µs, no pool
+//	                         admission, no journal append); unknown
+//	                         tiers are 400 with a structured body.
 //	GET  /v1/jobs            list tracked jobs
 //	GET  /v1/jobs/{id}       one job's status and result
 //	GET  /v1/jobs/{id}/trace the job's lifecycle trace (span events)
 //	GET  /v1/tables/3        regenerate the paper's Table 3 (?format=text)
+//	GET  /v1/roofline        the predicted-cycles grid with per-cell
+//	                         model-vs-simulated error (regenerated and
+//	                         extended Table 4); ?sim=0 skips simulation,
+//	                         ?format=text renders the report table
 //	GET  /metrics            metrics: flat text (default), ?format=prometheus,
 //	                         or ?format=json
 //	GET  /healthz            queue depth, breaker states, degraded flag
@@ -61,9 +69,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/tables/3", s.handleTable3)
+	mux.HandleFunc("GET /v1/roofline", s.handleRoofline)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return obs.Instrument(s.logger, mux)
+}
+
+// ParamError is the structured 400 body for a rejected query
+// parameter: the offending parameter and value, and the accepted
+// values, as machine-readable fields next to the human message.
+type ParamError struct {
+	Error     string   `json:"error"`
+	Parameter string   `json:"parameter"`
+	Value     string   `json:"value"`
+	Want      []string `json:"want"`
 }
 
 type httpError struct {
@@ -150,6 +169,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	reqTimeout, err := resilience.ParseTimeout(r.URL.Query().Get("timeout"), maxRequestTimeout)
 	if err != nil {
 		writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	tierParam := r.URL.Query().Get("tier")
+	tier, err := ParseTier(tierParam)
+	if err != nil {
+		// A structured body, not just a message: clients selecting a tier
+		// programmatically get the offending parameter and the accepted
+		// values as fields.
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "tier",
+			Value:     tierParam,
+			Want:      []string{string(TierEstimate), string(TierSimulate)},
+		})
+		return
+	}
+	if tier == TierEstimate {
+		// The estimate tier is synchronous and microsecond-cheap: no pool
+		// admission, no journal append, no job registration — the answer
+		// is complete before the response is written, so ?wait= and
+		// Idempotency-Key have nothing to do.
+		job, err := s.Estimate(spec)
+		if err != nil {
+			writeError(w, httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
 		return
 	}
 
@@ -264,6 +310,40 @@ func (s *Service) handleTable3(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, td)
+}
+
+// handleRoofline serves the predicted-cycles grid. ?sim=0 (or false/no)
+// answers model-only without touching the pool; the default also runs
+// every simulatable cell (memoized) and annotates model error.
+func (s *Service) handleRoofline(w http.ResponseWriter, r *http.Request) {
+	simulate := true
+	simParam := r.URL.Query().Get("sim")
+	switch strings.ToLower(simParam) {
+	case "", "1", "true", "yes":
+	case "0", "false", "no":
+		simulate = false
+	default:
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     fmt.Sprintf("svc: bad sim value %q", simParam),
+			Parameter: "sim",
+			Value:     simParam,
+			Want:      []string{"0", "1", "false", "true", "no", "yes"},
+		})
+		return
+	}
+	rd, err := s.Roofline(r.Context(), simulate)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "text") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := report.RenderRoofline(w, rd.Title, rd.Cells); err != nil {
+			writeError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, rd)
 }
 
 // TraceResponse is the GET /v1/jobs/{id}/trace payload.

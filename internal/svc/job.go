@@ -17,6 +17,7 @@ import (
 	"sigkern/internal/core"
 	"sigkern/internal/machines"
 	"sigkern/internal/obs"
+	"sigkern/internal/roofline"
 )
 
 // JobSpec names one simulation: a machine, a kernel, and the workload to
@@ -102,11 +103,20 @@ type Job struct {
 	// durable): resubmitting it returns this job instead of new work.
 	IdemKey string `json:"idempotency_key,omitempty"`
 	State   State  `json:"state"`
+	// Tier records which quality tier answered the job: "simulate" for
+	// the pool-run bit-deterministic simulation, "estimate" for the
+	// synchronous analytic roofline bound. Jobs journaled before tiers
+	// existed replay with an empty Tier, which reads as simulate.
+	Tier Tier `json:"tier,omitempty"`
 	// FromCache is true when the result was served from the memo table
 	// without running the simulator.
 	FromCache bool         `json:"from_cache,omitempty"`
 	Result    *core.Result `json:"result,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	// Estimate carries the full analytic breakdown (compute bound,
+	// memory bound, intensity) on estimate-tier jobs; nil on simulated
+	// ones.
+	Estimate *roofline.Estimate `json:"estimate,omitempty"`
+	Error    string             `json:"error,omitempty"`
 	Submitted time.Time    `json:"submitted"`
 	Started   time.Time    `json:"started"`
 	Finished  time.Time    `json:"finished"`

@@ -66,6 +66,8 @@ type Metrics struct {
 	shed         atomic.Uint64
 	breakerDrops atomic.Uint64
 	journalErrs  atomic.Uint64
+	estimates    atomic.Uint64
+	modelDrift   atomic.Uint64
 
 	// latMu guards the two rolling windows only. all holds every
 	// terminal job (cache hits included) and feeds the reported
@@ -92,6 +94,9 @@ type Metrics struct {
 	vecCoalesced   *obs.CounterVec
 	vecRetries     *obs.CounterVec
 	vecDeterminism *obs.CounterVec
+	vecEstimates   *obs.CounterVec
+	vecModelDrift  *obs.CounterVec
+	vecModelError  *obs.GaugeVec
 	vecExecLatency *obs.HistogramVec
 }
 
@@ -112,6 +117,12 @@ func NewMetrics() *Metrics {
 		"Transient-failure re-executions, per (machine, kernel) cell.")
 	m.vecDeterminism = m.reg.NewCounterVec("simserved_cell_determinism_violations_total",
 		"Determinism-guard trips, per (machine, kernel) cell.")
+	m.vecEstimates = m.reg.NewCounterVec("simserved_cell_estimates_total",
+		"Estimate-tier jobs answered from the analytic roofline model, per (machine, kernel) cell.")
+	m.vecModelDrift = m.reg.NewCounterVec("simserved_cell_model_drift_total",
+		"Simulated results outside the analytic model's error envelope, per (machine, kernel) cell.")
+	m.vecModelError = m.reg.NewGaugeVec("simserved_cell_model_error_ratio",
+		"Latest simulated-cycles over analytic-bound ratio, per (machine, kernel) cell.")
 	m.vecExecLatency = m.reg.NewHistogramVec("simserved_cell_exec_latency_seconds",
 		"Executed-job latency (queue to finish, cache hits excluded), per (machine, kernel) cell.", nil)
 	return m
@@ -198,6 +209,28 @@ func (m *Metrics) breakerRejected() { m.breakerDrops.Add(1) }
 // journal failed to persist.
 func (m *Metrics) journalAppendError() { m.journalErrs.Add(1) }
 
+// estimateServed records one estimate-tier answer.
+func (m *Metrics) estimateServed(cell obs.Labels) {
+	m.estimates.Add(1)
+	m.vecEstimates.With(cell).Inc()
+}
+
+// modelObserved publishes one simulated-vs-model comparison: the cell's
+// error-ratio gauge is always updated; a ratio outside the envelope
+// additionally fires the drift alert counters. Simulator drift from its
+// own analytic lower bound is a correctness alarm, not noise.
+func (m *Metrics) modelObserved(cell obs.Labels, ratio float64, within bool) {
+	m.vecModelError.With(cell).Set(ratio)
+	if !within {
+		m.modelDrift.Add(1)
+		m.vecModelDrift.With(cell).Inc()
+	}
+}
+
+// ModelDriftAlerts returns the drift-alert count — a single atomic
+// read, for tests and health probes.
+func (m *Metrics) ModelDriftAlerts() uint64 { return m.modelDrift.Load() }
+
 // JournalAppendErrors returns the journal append-error count — a
 // single atomic read, for callers (health checks) that do not need the
 // full quantile-sorting Snapshot.
@@ -257,6 +290,11 @@ type Snapshot struct {
 	// durability journal failed to persist (disk trouble; the health
 	// endpoint degrades while it is non-zero).
 	JournalAppendErrors uint64 `json:"journal_append_errors"`
+	// Estimates counts estimate-tier answers (analytic roofline, no
+	// simulator run); ModelDrift counts simulated results that landed
+	// outside the analytic model's error envelope.
+	Estimates  uint64 `json:"estimates_served"`
+	ModelDrift uint64 `json:"model_drift_alerts"`
 	// P50 and P99 are latency quantiles over the most recent terminal
 	// jobs (a rolling window, cache hits included), in seconds.
 	P50Seconds float64 `json:"latency_p50_seconds"`
@@ -296,6 +334,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		BreakerRejected: m.breakerDrops.Load(),
 
 		JournalAppendErrors: m.journalErrs.Load(),
+
+		Estimates:  m.estimates.Load(),
+		ModelDrift: m.modelDrift.Load(),
 	}
 	if probes := s.CacheHits + s.CacheMisses; probes > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(probes)
@@ -359,6 +400,8 @@ func (s Snapshot) describe() []metricDesc {
 		{"simserved_jobs_shed_total", "counter", "Admissions refused because the queue was full.", fmt.Sprintf("%d", s.Shed)},
 		{"simserved_breaker_rejected_total", "counter", "Admissions refused by an open circuit breaker.", fmt.Sprintf("%d", s.BreakerRejected)},
 		{"simserved_journal_append_errors_total", "counter", "Lifecycle transitions the durability journal failed to persist.", fmt.Sprintf("%d", s.JournalAppendErrors)},
+		{"simserved_estimates_served_total", "counter", "Estimate-tier jobs answered from the analytic roofline model.", fmt.Sprintf("%d", s.Estimates)},
+		{"simserved_model_drift_alerts_total", "counter", "Simulated results outside the analytic model's error envelope.", fmt.Sprintf("%d", s.ModelDrift)},
 		{"simserved_job_latency_p50_seconds", "gauge", "p50 latency over the rolling terminal-job window (cache hits included).", fmt.Sprintf("%.6f", s.P50Seconds)},
 		{"simserved_job_latency_p99_seconds", "gauge", "p99 latency over the rolling terminal-job window (cache hits included).", fmt.Sprintf("%.6f", s.P99Seconds)},
 		{"simserved_job_latency_samples", "gauge", "Samples in the rolling terminal-job window.", fmt.Sprintf("%d", s.Samples)},

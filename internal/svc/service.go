@@ -8,12 +8,14 @@ import (
 	"sync"
 	"time"
 
+	"sigkern/internal/cache"
 	"sigkern/internal/core"
 	"sigkern/internal/faults"
 	"sigkern/internal/journal"
 	"sigkern/internal/machines"
 	"sigkern/internal/obs"
 	"sigkern/internal/resilience"
+	"sigkern/internal/roofline"
 )
 
 // ErrJobEvicted is returned by Wait when the asked-for job existed but
@@ -56,6 +58,10 @@ type Service struct {
 	// transition is appended to (see OpenDurable); nil means the
 	// registry is memory-only, the pre-durability behavior.
 	journal *journal.Journal
+	// estimates is the estimate tier's own memo namespace: a separate
+	// table from the pool's simulated-result memo, so the two tiers can
+	// never serve each other's numbers for the same spec hash.
+	estimates *cache.Memo[roofline.Estimate]
 	// wg tracks the per-job completion goroutines so Close can drain
 	// them before snapshotting final state.
 	wg sync.WaitGroup
@@ -86,14 +92,15 @@ func NewService(opts Options) *Service {
 		opts.Pool.Faults = faults.Default()
 	}
 	return &Service{
-		pool:     NewPool(opts.Pool),
-		factory:  machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
-		maxJobs:  opts.MaxJobs,
-		breakers: resilience.NewBreakerSet(opts.Breaker),
-		logger:   opts.Logger,
-		jobs:     make(map[string]*Job),
-		evicted:  make(map[string]bool),
-		idem:     make(map[string]string),
+		pool:      NewPool(opts.Pool),
+		factory:   machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
+		maxJobs:   opts.MaxJobs,
+		breakers:  resilience.NewBreakerSet(opts.Breaker),
+		logger:    opts.Logger,
+		estimates: newEstimateMemo(),
+		jobs:      make(map[string]*Job),
+		evicted:   make(map[string]bool),
+		idem:      make(map[string]string),
 	}
 }
 
@@ -196,6 +203,7 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 		Hash:      hash,
 		IdemKey:   key,
 		State:     Queued,
+		Tier:      TierSimulate,
 		Submitted: time.Now(),
 	}
 	// One backing array sized for the common accepted→queued→started→done
@@ -274,6 +282,11 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 			}
 		}
 		s.finish(job.ID, res, fut.FromCache(), werr)
+		// Every fresh execution is checked against the analytic model it
+		// should never undercut; cache hits were checked when they ran.
+		if werr == nil && !fut.FromCache() {
+			s.recordModelDrift(norm, res)
+		}
 	}()
 	return s.snapshot(job.ID), false, nil
 }

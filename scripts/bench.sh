@@ -30,7 +30,7 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run='^$' -bench='Table3CornerTurn|Table3CSLC' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SIM_BENCHTIME:-20x}" . | tee "$tmp"
-go test -run='^$' -bench='ServiceThroughput' -benchmem \
+go test -run='^$' -bench='ServiceThroughput|EstimateTier' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SVC_BENCHTIME:-0.5s}" . | tee -a "$tmp"
 
 go run scripts/benchdiff.go -emit "$tmp" > "$out"
