@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos soak bench bench-smoke bench-json benchdiff clean
+.PHONY: all build vet test race check chaos soak cluster-soak bench bench-smoke bench-json benchdiff clean
 
 # soak sweeps the durability and chaos suites under the race detector
 # across a fixed seed matrix: journal frame/replay tests, svc crash and
@@ -46,6 +46,20 @@ soak:
 		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
 			-run 'Journal|Replay|Durab|Idempot|Frame|TornTail|Chaos|E2E' \
 			./internal/journal/... ./internal/svc/... ./cmd/simserved/...; \
+	done
+
+# cluster-soak is the cluster acceptance run: three chaos-armed
+# journaling shards behind a simgate, one shard SIGKILLed mid-sweep,
+# rerouted, WAL-rebalanced, and restarted — under the race detector,
+# across the seed matrix. Passing means bit-identical cycle counts at
+# every stage (gated by cmd/compare at threshold 0), zero
+# determinism-guard trips, and every rerouted job answered exactly
+# once.
+cluster-soak:
+	@set -e; for seed in $(SOAK_SEEDS); do \
+		echo "== cluster soak seed $$seed =="; \
+		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'ClusterSoak|Gateway' ./cmd/simgate/... ./internal/cluster/...; \
 	done
 
 bench:

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/beamsteer"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/kernels/cslc"
+	"sigkern/internal/kernels/fft"
+	"sigkern/internal/machines"
+	"sigkern/internal/svc"
+)
+
+// soakChaos matches the make-chaos fault mix: transient execute faults
+// and latency injection, seeded (SIGKERN_FAULTS_SEED, overridable for
+// the cluster-soak seed sweep) so runs are reproducible. The pool's
+// retry budget absorbs the transients, so jobs still terminate Done —
+// with bit-identical cycles, or the determinism guard trips.
+var soakChaos = []string{
+	"SIGKERN_FAULTS=pool.execute:transient:0.1,pool.execute:latency:0.05:2ms",
+}
+
+func soakSeed() string {
+	if s := os.Getenv("SIGKERN_FAULTS_SEED"); s != "" {
+		return "SIGKERN_FAULTS_SEED=" + s
+	}
+	return "SIGKERN_FAULTS_SEED=42"
+}
+
+func soakWorkload() core.Workload {
+	return core.Workload{
+		CornerTurn: cornerturn.Spec{Rows: 64, Cols: 64, BlockSize: 16},
+		CSLC:       cslc.Spec{MainChannels: 1, AuxChannels: 1, Samples: 256, SubBands: 3, FFTSize: 64, Radix: fft.Radix4},
+		Beam:       beamsteer.Spec{Elements: 64, Directions: 2, Dwells: 2, ShiftBits: 2, Rounding: 2},
+	}
+}
+
+// buildBinary compiles one of the repo's commands into a temp dir.
+func buildBinary(t *testing.T, name, pkgDir string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = pkgDir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkgDir, err, out)
+	}
+	return bin
+}
+
+// proc is one daemon process (a shard or the gateway) in the soak
+// cluster.
+type proc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	url  string
+	logs *bytes.Buffer
+}
+
+func (p *proc) kill() {
+	p.t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		p.t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+}
+
+// startProc launches a daemon binary with -addr/-addrfile discovery,
+// chaos armed, and waits until /healthz answers anything at all.
+func startProc(t *testing.T, bin, addr string, args ...string) *proc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	full := append([]string{"-addr", addr, "-addrfile", addrFile}, args...)
+	cmd := exec.Command(bin, full...)
+	cmd.Env = append(os.Environ(), append(soakChaos, soakSeed())...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{t: t, cmd: cmd, logs: &logs}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("%s logs:\n%s", filepath.Base(bin), logs.String())
+		}
+	})
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if a, err := os.ReadFile(addrFile); err == nil && len(a) > 0 {
+			p.url = "http://" + strings.TrimSpace(string(a))
+			if resp, err := http.Get(p.url + "/healthz"); err == nil {
+				resp.Body.Close()
+				return p
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became reachable; logs:\n%s", filepath.Base(bin), logs.String())
+	return nil
+}
+
+// submitVia posts a job through the gateway with an explicit
+// Idempotency-Key and ?wait=1, returning the decoded job and the shard
+// that answered (X-Simgate-Shard).
+func submitVia(t *testing.T, gwURL, key string, spec svc.JobSpec) (*http.Response, svc.Job, string) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPost, gwURL+"/v1/jobs?wait=1&timeout=60s", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job svc.Job
+	_ = json.NewDecoder(resp.Body).Decode(&job)
+	return resp, job, resp.Header.Get("X-Simgate-Shard")
+}
+
+type refJob struct {
+	key     string
+	machine string
+	kernel  core.KernelID
+	spec    svc.JobSpec
+	cycles  uint64
+}
+
+// referenceJobs computes the ground truth in-process: 5 machines × 3
+// kernels. The simulators are deterministic, so the cluster — shards
+// SIGKILLed, rerouted, rebalanced, restarted or not — must agree bit
+// for bit.
+func referenceJobs(t *testing.T, w core.Workload) []refJob {
+	t.Helper()
+	var refs []refJob
+	for _, name := range []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"} {
+		m, err := machines.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []core.KernelID{core.CornerTurn, core.CSLC, core.BeamSteering} {
+			res, err := core.Run(m, k, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, refJob{
+				key:     fmt.Sprintf("soak-%s-%s", name, k),
+				machine: name,
+				kernel:  k,
+				spec:    svc.JobSpec{Machine: name, Kernel: k, Workload: &w},
+				cycles:  res.Cycles,
+			})
+		}
+	}
+	return refs
+}
+
+// writeCyclesCSV writes results in the sigstudy CSV shape that
+// cmd/compare diffs.
+func writeCyclesCSV(t *testing.T, path string, cycles map[string]uint64, refs []refJob) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("machine,kernel,cycles\n")
+	for _, r := range refs {
+		fmt.Fprintf(&b, "%s,%s,%d\n", r.machine, r.kernel, cycles[r.key])
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestClusterSoakKillRerouteRebalanceRestart is the cluster acceptance
+// soak: three chaos-armed journaling shards behind a simgate. One
+// shard is SIGKILLed mid-sweep; the sweep continues through reroutes;
+// resubmits prove exactly-once; the dead shard's WAL is rebalanced
+// into its ring successors; the shard restarts on its own journal and
+// serves its original jobs. Every cycle count, at every stage, must be
+// bit-identical to the in-process reference — verified a final time
+// with cmd/compare at threshold 0 — and no shard may record a single
+// determinism-guard trip.
+func TestClusterSoakKillRerouteRebalanceRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real 4-process cluster; skipped in -short")
+	}
+	simserved := buildBinary(t, "simserved", "../simserved")
+	compare := buildBinary(t, "compare", "../compare")
+	simgate := buildBinary(t, "simgate", ".")
+
+	shardNames := []string{"s1", "s2", "s3"}
+	journals := make(map[string]string, len(shardNames))
+	shards := make(map[string]*proc, len(shardNames))
+	shardArgs := func(name string) []string {
+		return []string{
+			"-shard", name, "-journal", journals[name], "-fsync", "always",
+			"-workers", "2", "-queue", "64", "-timeout", "1m", "-drain", "20s"}
+	}
+	var journalSpec, shardSpec []string
+	for _, name := range shardNames {
+		journals[name] = t.TempDir()
+		shards[name] = startProc(t, simserved, "127.0.0.1:0", shardArgs(name)...)
+		journalSpec = append(journalSpec, name+"="+journals[name])
+		shardSpec = append(shardSpec, name+"="+shards[name].url)
+	}
+	gw := startProc(t, simgate, "127.0.0.1:0",
+		"-shards", strings.Join(shardSpec, ","),
+		"-journals", strings.Join(journalSpec, ","),
+		"-probe-interval", "100ms")
+
+	refs := referenceJobs(t, soakWorkload())
+
+	// Sweep 1 (first half): all shards healthy. Jobs route by spec
+	// hash; every answer must match the reference.
+	half := len(refs) / 2
+	ids := make(map[string]string)
+	victim := ""
+	victimJobs := make(map[string]string) // key -> job ID served by the victim pre-kill
+	for _, r := range refs[:half] {
+		resp, job, shard := submitVia(t, gw.url, r.key, r.spec)
+		if resp.StatusCode != http.StatusOK || job.State != svc.Done || job.Result == nil {
+			t.Fatalf("%s: status %d job %+v", r.key, resp.StatusCode, job)
+		}
+		if job.Result.Cycles != r.cycles {
+			t.Fatalf("%s: cluster cycles %d, reference %d", r.key, job.Result.Cycles, r.cycles)
+		}
+		ids[r.key] = job.ID
+		if victim == "" {
+			victim = shard // the first serving shard is guaranteed to own work
+		}
+		if shard == victim {
+			victimJobs[r.key] = job.ID
+		}
+	}
+	if victim == "" {
+		t.Fatal("no shard answered sweep 1")
+	}
+
+	// Mid-sweep SIGKILL: no drain, no snapshot — the victim dies with
+	// completed jobs only in its WAL and its ring range orphaned.
+	t.Logf("SIGKILL %s (%d jobs served)", victim, len(victimJobs))
+	shards[victim].kill()
+
+	// Sweep 1 continues: victim-owned submissions reroute to ring
+	// successors and still answer with reference cycles.
+	for _, r := range refs[half:] {
+		resp, job, _ := submitVia(t, gw.url, r.key, r.spec)
+		if resp.StatusCode != http.StatusOK || job.State != svc.Done || job.Result == nil {
+			t.Fatalf("%s after kill: status %d job %+v", r.key, resp.StatusCode, job)
+		}
+		if job.Result.Cycles != r.cycles {
+			t.Fatalf("%s after kill: cycles %d, reference %d", r.key, job.Result.Cycles, r.cycles)
+		}
+		ids[r.key] = job.ID
+	}
+
+	// Rebalance: replay the victim's WAL into its ring successors. The
+	// pre-kill jobs — completed only on the dead shard — become
+	// servable again under their original IDs and original bytes.
+	var reb struct {
+		Shipped int `json:"shipped"`
+	}
+	resp, err := http.Post(gw.url+"/v1/rebalance?shard="+victim, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || reb.Shipped == 0 {
+		t.Fatalf("rebalance: status %d shipped %d", resp.StatusCode, reb.Shipped)
+	}
+	for key, id := range victimJobs {
+		var job svc.Job
+		if code := getJSON(t, gw.url+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("%s: rebalanced job %s not servable: status %d", key, id, code)
+		}
+		var want uint64
+		for _, r := range refs {
+			if r.key == key {
+				want = r.cycles
+			}
+		}
+		if job.State != svc.Done || job.Result == nil || job.Result.Cycles != want {
+			t.Fatalf("%s: rebalanced job %s = %+v, reference %d", key, id, job, want)
+		}
+	}
+
+	// Exactly-once sweep: resubmit every key. A key the dead shard
+	// served replays the original job from the successor the rebalance
+	// shipped it to; every other key replays where it ran. No key may
+	// come back as new work or a new ID.
+	for _, r := range refs {
+		resp, job, _ := submitVia(t, gw.url, r.key, r.spec)
+		if resp.StatusCode != http.StatusOK || job.ID != ids[r.key] {
+			t.Fatalf("%s resubmit: status %d id %s, want replay of %s — rerouted job answered more than once",
+				r.key, resp.StatusCode, job.ID, ids[r.key])
+		}
+		if resp.Header.Get("Idempotency-Replayed") != "true" {
+			t.Fatalf("%s resubmit: not marked Idempotency-Replayed", r.key)
+		}
+		if job.Result == nil || job.Result.Cycles != r.cycles {
+			t.Fatalf("%s resubmit: result %+v, reference %d", r.key, job.Result, r.cycles)
+		}
+	}
+	var gwm struct {
+		Reroutes uint64 `json:"reroutes_total"`
+	}
+	getJSON(t, gw.url+"/metrics?format=json", &gwm)
+	if gwm.Reroutes == 0 {
+		t.Fatal("gateway recorded zero reroutes across a shard kill")
+	}
+
+	// Restart the victim on the same address and journal: it replays
+	// its own WAL and serves its original jobs again, bit-identical.
+	addr := strings.TrimPrefix(shards[victim].url, "http://")
+	shards[victim] = startProc(t, simserved, addr, shardArgs(victim)...)
+	for key, id := range victimJobs {
+		var job svc.Job
+		if code := getJSON(t, shards[victim].url+"/v1/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("%s: job %s missing after WAL replay: status %d", key, id, code)
+		}
+		if job.State != svc.Done || job.Result == nil {
+			t.Fatalf("%s after restart: %+v", key, job)
+		}
+	}
+
+	// Final sweep through the healed cluster (wait for the gateway to
+	// see three ready shards again), then the cmd/compare gate.
+	healed := time.Now().Add(10 * time.Second)
+	for {
+		var h struct {
+			ReadyShards int `json:"ready_shards"`
+		}
+		getJSON(t, gw.url+"/healthz", &h)
+		if h.ReadyShards == len(shardNames) {
+			break
+		}
+		if time.Now().After(healed) {
+			t.Fatalf("gateway never saw %d ready shards after restart", len(shardNames))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	final := make(map[string]uint64)
+	for _, r := range refs {
+		resp, job, _ := submitVia(t, gw.url, r.key, r.spec)
+		if resp.StatusCode != http.StatusOK || job.State != svc.Done || job.Result == nil {
+			t.Fatalf("%s final sweep: status %d job %+v", r.key, resp.StatusCode, job)
+		}
+		final[r.key] = job.Result.Cycles
+	}
+	refCycles := make(map[string]uint64)
+	for _, r := range refs {
+		refCycles[r.key] = r.cycles
+	}
+	dir := t.TempDir()
+	refCSV := filepath.Join(dir, "reference.csv")
+	gotCSV := filepath.Join(dir, "cluster.csv")
+	writeCyclesCSV(t, refCSV, refCycles, refs)
+	writeCyclesCSV(t, gotCSV, final, refs)
+	if out, err := exec.Command(compare, "-threshold", "0", refCSV, gotCSV).CombinedOutput(); err != nil {
+		t.Fatalf("cmd/compare found cycle drift between reference and cluster:\n%s\n%v", out, err)
+	}
+
+	// Zero determinism-guard trips on every shard: chaos, kills,
+	// reroutes and replays may cost latency, never correctness.
+	for _, name := range shardNames {
+		var m struct {
+			Determinism uint64 `json:"determinism_violations"`
+		}
+		getJSON(t, shards[name].url+"/metrics?format=json", &m)
+		if m.Determinism != 0 {
+			t.Fatalf("shard %s recorded %d determinism violations", name, m.Determinism)
+		}
+	}
+}

@@ -93,6 +93,7 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence when -fsync=interval")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default; exposes runtime internals)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	shard := flag.String("shard", "", "cluster shard name: prefixes job IDs (name-j000001-...) and labels /readyz, so a simgate can route by ID (empty = single-node)")
 	flag.Parse()
 
 	if *logFormat != "text" && *logFormat != "json" {
@@ -105,7 +106,7 @@ func main() {
 		timeout: *timeout, drain: *drain,
 		configPath: *configPath,
 		journalDir: *journalDir, fsync: *fsync, fsyncEvery: *fsyncEvery,
-		pprof: *pprofOn, logFormat: *logFormat,
+		pprof: *pprofOn, logFormat: *logFormat, shard: *shard,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
@@ -126,6 +127,7 @@ type daemonConfig struct {
 	fsyncEvery     time.Duration
 	pprof          bool
 	logFormat      string
+	shard          string
 }
 
 func run(cfg daemonConfig) error {
@@ -137,7 +139,8 @@ func run(cfg daemonConfig) error {
 			MemoCapacity: cfg.memo,
 			QueueDepth:   cfg.queue,
 		},
-		Logger: logger,
+		Logger:  logger,
+		ShardID: cfg.shard,
 	}
 	if cfg.configPath != "" {
 		set, err := machines.LoadConfigSet(cfg.configPath)
@@ -229,9 +232,12 @@ func run(cfg daemonConfig) error {
 	case <-ctx.Done():
 	}
 
-	// Drain order matters: stop admitting first (HTTP shutdown), then
-	// finish in-flight simulations and — when journaling — snapshot and
-	// compact so the next start replays nothing but the snapshot.
+	// Drain order matters: flip /readyz to 503 first so routers (and a
+	// simgate's prober) stop sending new work while /healthz stays 200,
+	// then stop admitting (HTTP shutdown), then finish in-flight
+	// simulations and — when journaling — snapshot and compact so the
+	// next start replays nothing but the snapshot.
+	service.SetDraining(true)
 	logger.Info("shutting down", "drain_deadline", cfg.drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()

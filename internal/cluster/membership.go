@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Shard is one simserved backend: a stable name (its ring identity and
+// job-ID prefix) and the base URL it serves on.
+type Shard struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParseShards parses a static membership spec of the form
+// "s1=http://host:port,s2=http://host:port". Names must be unique.
+func ParseShards(spec string) ([]Shard, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var shards []Shard
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad shard entry %q (want name=url)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", name)
+		}
+		seen[name] = true
+		u, err := url.Parse(addr)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad shard URL %q for %s", addr, name)
+		}
+		shards = append(shards, Shard{Name: name, URL: strings.TrimRight(addr, "/")})
+	}
+	return shards, nil
+}
+
+// ParseKVSpec parses a "name=value,name=value" spec into a map —
+// shared by the -shardfiles and -journals flags.
+func ParseKVSpec(spec string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" || val == "" {
+			return nil, fmt.Errorf("cluster: bad entry %q (want name=value)", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate entry %q", name)
+		}
+		out[name] = val
+	}
+	return out, nil
+}
+
+// ResolveAddrFiles turns a map of shard name -> simserved -addrfile
+// path into shards, polling each file until it holds a listen address
+// or the deadline passes. simserved writes its bound address there
+// after the listener is up, so ":0" test clusters can be discovered
+// without racing the bind.
+func ResolveAddrFiles(files map[string]string, timeout time.Duration) ([]Shard, error) {
+	deadline := time.Now().Add(timeout)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var shards []Shard
+	for _, name := range names {
+		addr, err := waitForAddr(files[name], deadline)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %s: %w", name, err)
+		}
+		shards = append(shards, Shard{Name: name, URL: "http://" + addr})
+	}
+	return shards, nil
+}
+
+func waitForAddr(path string, deadline time.Time) (string, error) {
+	for {
+		data, err := os.ReadFile(path)
+		if addr := strings.TrimSpace(string(data)); err == nil && addr != "" {
+			return addr, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return "", fmt.Errorf("addrfile %s: %w", path, err)
+			}
+			return "", fmt.Errorf("addrfile %s: empty after deadline", path)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sigkern/internal/obs"
+)
+
+// Metrics is the gateway's own registry: request routing and failover
+// counters plus per-shard health gauges. Names are prefixed simgate_
+// so a shared Prometheus scrape never collides with the shards'
+// simserved_ families.
+type Metrics struct {
+	proxied          atomic.Uint64
+	reroutes         atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	upstreamErrors   atomic.Uint64
+	breakerRejected  atomic.Uint64
+	rebalances       atomic.Uint64
+	rebalanceRecords atomic.Uint64
+
+	mu      sync.Mutex
+	healthy map[string]bool // shard -> last probe verdict (alive)
+	ready   map[string]bool // shard -> accepting new work
+}
+
+// NewMetrics returns an empty gateway registry.
+func NewMetrics() *Metrics {
+	return &Metrics{healthy: make(map[string]bool), ready: make(map[string]bool)}
+}
+
+func (m *Metrics) proxiedInc() uint64        { return m.proxied.Add(1) }
+func (m *Metrics) rerouteInc()               { m.reroutes.Add(1) }
+func (m *Metrics) hedgeInc()                 { m.hedges.Add(1) }
+func (m *Metrics) hedgeWinInc()              { m.hedgeWins.Add(1) }
+func (m *Metrics) upstreamErrorInc()         { m.upstreamErrors.Add(1) }
+func (m *Metrics) breakerRejectedInc()       { m.breakerRejected.Add(1) }
+func (m *Metrics) rebalanceDone(records int) { m.rebalances.Add(1); m.rebalanceRecords.Add(uint64(records)) }
+
+// setShardState records a probe verdict for the health gauges.
+func (m *Metrics) setShardState(shard string, alive, ready bool) {
+	m.mu.Lock()
+	m.healthy[shard] = alive
+	m.ready[shard] = ready
+	m.mu.Unlock()
+}
+
+// Reroutes returns the failover counter (tests and /healthz).
+func (m *Metrics) Reroutes() uint64 { return m.reroutes.Load() }
+
+// Hedges returns the hedged-request counter.
+func (m *Metrics) Hedges() uint64 { return m.hedges.Load() }
+
+// Snapshot is the JSON form of the gateway metrics.
+type Snapshot struct {
+	Proxied          uint64          `json:"proxied_total"`
+	Reroutes         uint64          `json:"reroutes_total"`
+	Hedges           uint64          `json:"hedges_total"`
+	HedgeWins        uint64          `json:"hedge_wins_total"`
+	UpstreamErrors   uint64          `json:"upstream_errors_total"`
+	BreakerRejected  uint64          `json:"breaker_rejected_total"`
+	Rebalances       uint64          `json:"rebalances_total"`
+	RebalanceRecords uint64          `json:"rebalance_records_total"`
+	ShardHealthy     map[string]bool `json:"shard_healthy"`
+	ShardReady       map[string]bool `json:"shard_ready"`
+}
+
+// Snapshot captures every counter and gauge at one instant.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Proxied:          m.proxied.Load(),
+		Reroutes:         m.reroutes.Load(),
+		Hedges:           m.hedges.Load(),
+		HedgeWins:        m.hedgeWins.Load(),
+		UpstreamErrors:   m.upstreamErrors.Load(),
+		BreakerRejected:  m.breakerRejected.Load(),
+		Rebalances:       m.rebalances.Load(),
+		RebalanceRecords: m.rebalanceRecords.Load(),
+		ShardHealthy:     make(map[string]bool),
+		ShardReady:       make(map[string]bool),
+	}
+	m.mu.Lock()
+	for k, v := range m.healthy {
+		s.ShardHealthy[k] = v
+	}
+	for k, v := range m.ready {
+		s.ShardReady[k] = v
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// WriteText renders the flat text form (the default /metrics body).
+func (m *Metrics) WriteText(w io.Writer) error {
+	s := m.Snapshot()
+	for _, row := range []struct {
+		name string
+		val  uint64
+	}{
+		{"proxied_total", s.Proxied},
+		{"reroutes_total", s.Reroutes},
+		{"hedges_total", s.Hedges},
+		{"hedge_wins_total", s.HedgeWins},
+		{"upstream_errors_total", s.UpstreamErrors},
+		{"breaker_rejected_total", s.BreakerRejected},
+		{"rebalances_total", s.Rebalances},
+		{"rebalance_records_total", s.RebalanceRecords},
+	} {
+		if _, err := fmt.Fprintf(w, "%-28s %d\n", row.name, row.val); err != nil {
+			return err
+		}
+	}
+	for _, shard := range sortedShardNames(s.ShardHealthy) {
+		if _, err := fmt.Fprintf(w, "shard_healthy{%s}           %s\n", shard, boolTo01(s.ShardHealthy[shard])); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "shard_ready{%s}             %s\n", shard, boolTo01(s.ShardReady[shard])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the simgate_* families in the text
+// exposition format, shards in sorted order so scrapes are stable.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	counters := []struct {
+		name, help string
+		val        uint64
+	}{
+		{"simgate_requests_total", "Requests proxied to shards.", s.Proxied},
+		{"simgate_reroutes_total", "Requests rerouted to a hash-ring successor after a shard failure.", s.Reroutes},
+		{"simgate_hedges_total", "Hedged requests fired for idempotent reads.", s.Hedges},
+		{"simgate_hedge_wins_total", "Hedged requests that answered before the primary.", s.HedgeWins},
+		{"simgate_upstream_errors_total", "Transport-level failures talking to shards.", s.UpstreamErrors},
+		{"simgate_breaker_rejected_total", "Requests skipped past a shard with an open circuit breaker.", s.BreakerRejected},
+		{"simgate_rebalances_total", "WAL rebalances driven to completion.", s.Rebalances},
+		{"simgate_rebalance_records_total", "Jobs and memoized results replayed into successors by rebalance.", s.RebalanceRecords},
+	}
+	for _, c := range counters {
+		if err := obs.WritePromHeader(w, c.name, c.help, "counter"); err != nil {
+			return err
+		}
+		if err := obs.WritePromSampleKV(w, c.name, fmt.Sprintf("%d", c.val)); err != nil {
+			return err
+		}
+	}
+	if len(s.ShardHealthy) > 0 {
+		if err := obs.WritePromHeader(w, "simgate_shard_healthy",
+			"Per-shard probe verdict: 1 alive, 0 unreachable.", "gauge"); err != nil {
+			return err
+		}
+		for _, shard := range sortedShardNames(s.ShardHealthy) {
+			if err := obs.WritePromSampleKV(w, "simgate_shard_healthy", boolTo01(s.ShardHealthy[shard]), "shard", shard); err != nil {
+				return err
+			}
+		}
+		if err := obs.WritePromHeader(w, "simgate_shard_ready",
+			"Per-shard readiness: 1 accepting new work, 0 draining/degraded/dead.", "gauge"); err != nil {
+			return err
+		}
+		for _, shard := range sortedShardNames(s.ShardHealthy) {
+			if err := obs.WritePromSampleKV(w, "simgate_shard_ready", boolTo01(s.ShardReady[shard]), "shard", shard); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedShardNames(m map[string]bool) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func boolTo01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

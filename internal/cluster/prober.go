@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultProbeInterval is how often the prober sweeps every shard.
+const DefaultProbeInterval = 500 * time.Millisecond
+
+// ProbeState is one shard's last probe verdict.
+type ProbeState struct {
+	// Alive means the process answered HTTP at all — including the 503
+	// a degraded or draining shard serves. Only a transport failure
+	// (connection refused, timeout) clears it: /healthz's
+	// 503-while-degraded semantics mean "pull me from rotation", not
+	// "bury me".
+	Alive bool `json:"alive"`
+	// Ready means /readyz said 200: not draining, not degraded — route
+	// new work here.
+	Ready       bool      `json:"ready"`
+	LastError   string    `json:"last_error,omitempty"`
+	LastChecked time.Time `json:"last_checked"`
+}
+
+// Prober actively probes every shard's /readyz. One endpoint carries
+// both signals: any HTTP answer proves liveness, and the status code
+// decides readiness (a draining shard answers 503 there while its
+// /healthz stays 200, so drain never looks like death).
+type Prober struct {
+	shards   []Shard
+	client   *http.Client
+	interval time.Duration
+	metrics  *Metrics
+
+	mu    sync.Mutex
+	state map[string]ProbeState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProber builds a prober over the shard set. client must have a
+// timeout set (the gateway's probe client uses a short one so a hung
+// shard reads as dead, not slow).
+func NewProber(shards []Shard, interval time.Duration, client *http.Client, m *Metrics) *Prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	p := &Prober{
+		shards:   append([]Shard(nil), shards...),
+		client:   client,
+		interval: interval,
+		metrics:  m,
+		state:    make(map[string]ProbeState, len(shards)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Shards start optimistically routable so the first requests are
+	// not all rejected before the first sweep lands.
+	for _, s := range p.shards {
+		p.state[s.Name] = ProbeState{Alive: true, Ready: true}
+	}
+	return p
+}
+
+// Start runs one synchronous sweep (so callers boot with real
+// verdicts) and then probes on the interval until Stop.
+func (p *Prober) Start() {
+	p.Sweep()
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop.
+func (p *Prober) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// Sweep probes every shard once, in parallel.
+func (p *Prober) Sweep() {
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go func(s Shard) {
+			defer wg.Done()
+			p.probe(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(s Shard) {
+	st := ProbeState{LastChecked: time.Now()}
+	resp, err := p.client.Get(s.URL + "/readyz")
+	if err != nil {
+		st.LastError = err.Error()
+	} else {
+		resp.Body.Close()
+		st.Alive = true
+		st.Ready = resp.StatusCode == http.StatusOK
+		if !st.Ready {
+			st.LastError = fmt.Sprintf("readyz status %d", resp.StatusCode)
+		}
+	}
+	p.setState(s.Name, st)
+}
+
+func (p *Prober) setState(name string, st ProbeState) {
+	p.mu.Lock()
+	p.state[name] = st
+	p.mu.Unlock()
+	if p.metrics != nil {
+		p.metrics.setShardState(name, st.Alive, st.Ready)
+	}
+}
+
+// ObserveFailure records a transport-level failure seen by the proxy
+// itself, so routing stops offering a just-died shard before the next
+// sweep notices.
+func (p *Prober) ObserveFailure(name string, err error) {
+	p.mu.Lock()
+	st := p.state[name]
+	st.Alive = false
+	st.Ready = false
+	st.LastError = err.Error()
+	st.LastChecked = time.Now()
+	p.state[name] = st
+	p.mu.Unlock()
+	if p.metrics != nil {
+		p.metrics.setShardState(name, false, false)
+	}
+}
+
+// Ready reports whether the shard should receive new work.
+func (p *Prober) Ready(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state[name].Ready
+}
+
+// Alive reports whether the shard's process answered its last probe.
+func (p *Prober) Alive(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state[name].Alive
+}
+
+// States returns a copy of every shard's probe state.
+func (p *Prober) States() map[string]ProbeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]ProbeState, len(p.state))
+	for k, v := range p.state {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package cluster turns N independent simserved shards into one
+// fault-tolerant service: a consistent-hash ring keyed by the
+// canonical job-spec hash routes every submission to one shard (so the
+// per-shard singleflight coalescing and sharded memo become
+// cluster-wide dedup), an active prober tracks which shards are alive
+// and ready, per-shard circuit breakers and retry-with-reroute absorb
+// shard death, bounded hedged requests cut tail latency on idempotent
+// reads, and a WAL rebalance path replays a departed shard's journal
+// into its hash-ring successors. Command simgate exposes the gateway
+// over HTTP.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per shard: enough that
+// three shards split the key space within a few percent of evenly.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over shard names.
+// Liveness is deliberately not the ring's business: the ring answers
+// "who owns this key, and who comes next", and the router filters by
+// health, so a shard's death never reshuffles ownership of the keys it
+// did not own.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	shards   []string    // sorted, distinct
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the given shard names with the given
+// virtual-node count per shard (<= 0 means DefaultReplicas).
+func NewRing(shards []string, replicas int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(shards))
+	r := &Ring{replicas: replicas}
+	for _, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("cluster: empty shard name")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", s)
+		}
+		seen[s] = true
+		r.shards = append(r.shards, s)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, i), shard: s})
+		}
+	}
+	sort.Strings(r.shards)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// vnodeHash places one virtual node: the first 8 bytes of
+// sha256("<shard>#<i>").
+func vnodeHash(shard string, i int) uint64 {
+	sum := sha256.Sum256([]byte(shard + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// KeyPoint maps a routing key onto the ring. Keys are canonical spec
+// hashes (hex SHA-256): the point is the first 32 bits of the hash,
+// shifted into the top of the keyspace. Only 32 bits on purpose — job
+// IDs embed just the first 8 hex characters of the spec hash
+// (j000042-<hash8>), and deriving the point from that prefix means a
+// status poll routes to the same shard as the submission did, with no
+// lookup table. Non-hex keys fall back to hashing the whole string.
+func KeyPoint(key string) uint64 {
+	if len(key) >= 8 {
+		if v, err := strconv.ParseUint(key[:8], 16, 64); err == nil {
+			return v << 32
+		}
+	}
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the shard owning the key: the first virtual node at or
+// after the key's point, wrapping around.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(KeyPoint(key))].shard
+}
+
+// Successors returns every distinct shard in ring order starting at
+// the key's owner — the reroute order when the owner is down. Length
+// equals the shard count; the first element is the owner.
+func (r *Ring) Successors(key string) []string {
+	out := make([]string, 0, len(r.shards))
+	seen := make(map[string]bool, len(r.shards))
+	idx := r.search(KeyPoint(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.shards); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after h, wrapping.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Shards returns the ring's shard names, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }

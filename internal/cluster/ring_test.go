@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, shards ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingDeterministicAndStable: ownership is a pure function of the
+// key and the shard set — two rings built from the same shards agree
+// on every key, regardless of input order.
+func TestRingDeterministicAndStable(t *testing.T) {
+	a := mustRing(t, "s1", "s2", "s3")
+	b := mustRing(t, "s3", "s1", "s2")
+	for i := 0; i < 1000; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		key := hex.EncodeToString(sum[:])
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner depends on construction order (%s vs %s)", key[:8], a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, three shards each own a
+// reasonable fraction of a hash-distributed key population.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, "s1", "s2", "s3")
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		counts[r.Owner(hex.EncodeToString(sum[:]))]++
+	}
+	for shard, c := range counts {
+		if c < n/6 || c > n/2 {
+			t.Fatalf("shard %s owns %d of %d keys — ring badly unbalanced: %v", shard, c, n, counts)
+		}
+	}
+}
+
+// TestRingSuccessorsCoverAllShards: the reroute order starts at the
+// owner and visits every shard exactly once.
+func TestRingSuccessorsCoverAllShards(t *testing.T) {
+	r := mustRing(t, "s1", "s2", "s3")
+	sum := sha256.Sum256([]byte("some-key"))
+	key := hex.EncodeToString(sum[:])
+	succ := r.Successors(key)
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v, want all 3 shards", succ)
+	}
+	if succ[0] != r.Owner(key) {
+		t.Fatalf("successors[0] = %s, owner = %s", succ[0], r.Owner(key))
+	}
+	seen := make(map[string]bool)
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("shard %s repeated in %v", s, succ)
+		}
+		seen[s] = true
+	}
+}
+
+// TestKeyPointPrefixEquivalence: the ring point derives from the first
+// 8 hex characters of the spec hash, so the full 64-char hash (submit
+// path) and the 8-char suffix embedded in a job ID (status-poll path)
+// route to the same shard.
+func TestKeyPointPrefixEquivalence(t *testing.T) {
+	r := mustRing(t, "s1", "s2", "s3")
+	for i := 0; i < 200; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+		full := hex.EncodeToString(sum[:])
+		if r.Owner(full) != r.Owner(full[:8]) {
+			t.Fatalf("hash %s: full routes to %s, 8-char prefix to %s", full[:8], r.Owner(full), r.Owner(full[:8]))
+		}
+	}
+}
+
+// TestRingRejectsBadShards: empty and duplicate names are construction
+// errors, not silent misrouting.
+func TestRingRejectsBadShards(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"s1", "s1"}, 0); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExportReadsWithoutMutating: Export sees exactly what Open would
+// replay — snapshot plus post-snapshot records — while leaving every
+// byte on disk untouched, including a torn tail that Open would
+// truncate.
+func TestExportReadsWithoutMutating(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir})
+	appendAll(t, j, "pre-1", "pre-2")
+	if err := j.Compact([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "post-1", "post-2", "post-3")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: half a frame of garbage, the shape of a crash
+	// mid-write.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xBA, 0xD0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	damaged, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Export(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Stats.SnapshotLoaded || string(rec.Snapshot) != "snapshot-state" {
+		t.Fatalf("export missed the snapshot: %+v", rec.Stats)
+	}
+	got := recordStrings(rec)
+	want := []string{"post-1", "post-2", "post-3"}
+	if len(got) != len(want) {
+		t.Fatalf("exported %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if rec.Stats.Truncations != 1 || rec.Stats.TruncatedBytes != 2 {
+		t.Fatalf("torn tail not surfaced: %+v", rec.Stats)
+	}
+
+	// Read-only means read-only: the damaged segment is byte-identical
+	// after the export, so the dead shard's own restart still finds the
+	// log exactly as the crash left it.
+	after, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(damaged, after) {
+		t.Fatal("Export mutated a segment file")
+	}
+
+	// And Open (the owner's restart) still recovers the same records.
+	_, rec2 := mustOpen(t, Options{Dir: dir})
+	if len(recordStrings(rec2)) != len(want) || rec2.Stats.Truncations != 1 {
+		t.Fatalf("owner restart after export diverged: %v %+v", recordStrings(rec2), rec2.Stats)
+	}
+}
+
+// TestExportMissingDir: exporting a directory that does not exist is an
+// error, not an empty recovery — a gateway pointing at the wrong path
+// must hear about it rather than silently rebalancing nothing.
+func TestExportMissingDir(t *testing.T) {
+	if _, err := Export(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Export of a missing dir succeeded")
+	}
+	if _, err := Export(""); err == nil {
+		t.Fatal("Export of an empty dir path succeeded")
+	}
+}

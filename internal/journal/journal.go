@@ -208,6 +208,69 @@ func parseSegmentName(name string) (uint64, bool) {
 	return seq, true
 }
 
+// readSnapshot loads the newest valid snapshot in dir into rec and
+// returns the highest segment sequence it covers. A decodable snapshot
+// fills rec.Snapshot; a damaged one sets SnapshotCorrupt (recovery then
+// falls back to the surviving segments — never trust a bad checksum).
+func readSnapshot(dir string, rec *Recovery) (covers uint64, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	if payload, _, derr := DecodeFrame(data); derr == nil && len(payload) >= 8 {
+		covers = binary.BigEndian.Uint64(payload[:8])
+		rec.Snapshot = append([]byte(nil), payload[8:]...)
+		rec.Stats.SnapshotLoaded = true
+	} else {
+		// The snapshot is written atomically (fsync + rename), so a
+		// bad one means external damage.
+		rec.Stats.SnapshotCorrupt = true
+	}
+	return covers, nil
+}
+
+// listSegments returns the segment sequence numbers present in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// scanRecords decodes frames from the front of data into rec until the
+// data ends or a torn/corrupt frame stops the scan (counted, with the
+// remainder reported as truncated). It returns the byte offset of the
+// first undecodable byte — the length of the valid prefix.
+func scanRecords(data []byte, rec *Recovery) (validLen int) {
+	off := 0
+	rest := data
+	for len(rest) > 0 {
+		payload, next, derr := DecodeFrame(rest)
+		if derr != nil {
+			rec.Stats.Truncations++
+			rec.Stats.TruncatedBytes += uint64(len(rest))
+			return off
+		}
+		rec.Records = append(rec.Records, append([]byte(nil), payload...))
+		rec.Stats.RecordsReplayed++
+		off += headerSize + len(payload)
+		rest = next
+	}
+	return off
+}
+
 // Open opens (creating if needed) the journal in opts.Dir and replays
 // it: the newest valid snapshot, then every record in the segments
 // appended after it. Torn or corrupted tails are truncated at the
@@ -231,33 +294,16 @@ func Open(opts Options) (*Journal, *Recovery, error) {
 	}
 
 	rec := &Recovery{}
-	covers := uint64(0) // segments <= covers are folded into the snapshot
-	if data, err := os.ReadFile(filepath.Join(opts.Dir, snapshotFile)); err == nil {
-		if payload, _, derr := DecodeFrame(data); derr == nil && len(payload) >= 8 {
-			covers = binary.BigEndian.Uint64(payload[:8])
-			rec.Snapshot = append([]byte(nil), payload[8:]...)
-			rec.Stats.SnapshotLoaded = true
-		} else {
-			// The snapshot is written atomically (fsync + rename), so a
-			// bad one means external damage. Fall back to the segments
-			// that still exist and say so — never trust a bad checksum.
-			rec.Stats.SnapshotCorrupt = true
-		}
-	} else if !errors.Is(err, fs.ErrNotExist) {
-		return nil, nil, fmt.Errorf("journal: read snapshot: %w", err)
+	// Segments <= covers are folded into the snapshot.
+	covers, err := readSnapshot(opts.Dir, rec)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	entries, err := os.ReadDir(opts.Dir)
+	seqs, err := listSegments(opts.Dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("journal: read dir: %w", err)
+		return nil, nil, err
 	}
-	var seqs []uint64
-	for _, e := range entries {
-		if seq, ok := parseSegmentName(e.Name()); ok {
-			seqs = append(seqs, seq)
-		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 
 	j := &Journal{opts: opts}
 	for _, seq := range seqs {
@@ -315,24 +361,55 @@ func (j *Journal) replaySegment(path string, rec *Recovery) error {
 	if err != nil {
 		return fmt.Errorf("journal: read segment: %w", err)
 	}
-	off := 0
-	rest := data
-	for len(rest) > 0 {
-		payload, next, derr := DecodeFrame(rest)
-		if derr != nil {
-			rec.Stats.Truncations++
-			rec.Stats.TruncatedBytes += uint64(len(rest))
-			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return fmt.Errorf("journal: truncate %s after bad frame: %w", path, terr)
-			}
-			return nil
+	before := rec.Stats.Truncations
+	off := scanRecords(data, rec)
+	if rec.Stats.Truncations > before {
+		if terr := os.Truncate(path, int64(off)); terr != nil {
+			return fmt.Errorf("journal: truncate %s after bad frame: %w", path, terr)
 		}
-		rec.Records = append(rec.Records, append([]byte(nil), payload...))
-		rec.Stats.RecordsReplayed++
-		off += headerSize + len(payload)
-		rest = next
 	}
 	return nil
+}
+
+// Export reads the journal in dir without opening it for appends: the
+// newest valid snapshot plus every decodable record in the segments
+// after it, exactly as Open would replay them — but strictly read-only.
+// Torn or corrupt tails are counted in the returned stats and left
+// untouched on disk, and no segment is created, truncated, or removed:
+// the owning process may be dead only temporarily, and its own restart
+// must find its log exactly as the crash left it.
+//
+// This is the extraction half of cluster rebalance: a gateway exports a
+// departed shard's WAL and replays the recovered jobs into the shard's
+// hash-ring successors.
+func Export(dir string) (*Recovery, error) {
+	if dir == "" {
+		return nil, errors.New("journal: export dir is required")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("journal: export: %w", err)
+	}
+	rec := &Recovery{}
+	covers, err := readSnapshot(dir, rec)
+	if err != nil {
+		return nil, err
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range seqs {
+		if seq <= covers {
+			continue // folded into the snapshot
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(seq)))
+		if err != nil {
+			return nil, fmt.Errorf("journal: read segment: %w", err)
+		}
+		scanRecords(data, rec)
+		rec.Stats.SegmentsRead++
+	}
+	return rec, nil
 }
 
 // Append writes one record. With SyncAlways it returns only once the

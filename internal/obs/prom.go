@@ -64,6 +64,30 @@ func WritePromSample(w io.Writer, name string, l Labels, extraKey, extraVal stri
 	return err
 }
 
+// WritePromSampleKV writes one sample line with arbitrary label pairs
+// (key1, val1, key2, val2, ...), values escaped. It serves families
+// whose label set is not the (machine, kernel) cell — e.g. the cluster
+// gateway's per-shard series. An odd trailing key is ignored.
+func WritePromSampleKV(w io.Writer, name, value string, pairs ...string) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(pairs) >= 2 {
+		sb.WriteByte('{')
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(pairs[i])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue.Replace(pairs[i+1]))
+			sb.WriteString(`"`)
+		}
+		sb.WriteByte('}')
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", sb.String(), value)
+	return err
+}
+
 // WritePrometheus renders every registered family in the Prometheus
 // text exposition format, families in registration order and series in
 // sorted (machine, kernel) order so scrapes are stable.

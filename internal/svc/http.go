@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"sigkern/internal/core"
 	"sigkern/internal/journal"
 	"sigkern/internal/obs"
 	"sigkern/internal/report"
@@ -57,7 +58,14 @@ const StatusClientClosedRequest = 499
 //	                         ?format=text renders the report table
 //	GET  /metrics            metrics: flat text (default), ?format=prometheus,
 //	                         or ?format=json
-//	GET  /healthz            queue depth, breaker states, degraded flag
+//	GET  /healthz            liveness: queue depth, breaker states, degraded
+//	                         flag (503 while degraded, same body)
+//	GET  /readyz             readiness: 503 while draining or degraded, so a
+//	                         gateway stops routing new work without the
+//	                         prober declaring the process dead
+//	POST /v1/replay          cluster rebalance ingest: jobs + memoized
+//	                         results recovered from a departed shard's
+//	                         journal, folded into this service
 //
 // Every response carries an X-Request-Id (echoed from the request, or
 // generated); the handler logs each request through the service's
@@ -72,6 +80,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/roofline", s.handleRoofline)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	return obs.Instrument(s.logger, mux)
 }
 
@@ -460,4 +470,84 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
+}
+
+// Readiness is the GET /readyz payload: liveness minus the states
+// where new work should go elsewhere. A draining process (SIGTERM
+// received, finishing in-flight jobs) and a degraded one are both
+// not-ready; only drain leaves /healthz untouched, which is the point
+// of the split — a gateway stops routing to a draining shard without
+// the health prober declaring it dead.
+type Readiness struct {
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+	Degraded bool   `json:"degraded"`
+	Shard    string `json:"shard,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Readiness assembles the readiness snapshot.
+func (s *Service) Readiness() Readiness {
+	rd := Readiness{
+		Draining: s.Draining(),
+		Degraded: s.Healthz().Degraded,
+		Shard:    s.shardID,
+	}
+	switch {
+	case rd.Draining:
+		rd.Reason = "draining"
+	case rd.Degraded:
+		rd.Reason = "degraded"
+	default:
+		rd.Ready = true
+	}
+	return rd
+}
+
+// handleReadyz answers 200 when the service should receive new work
+// and 503 when it should not (draining or degraded), with the same
+// JSON body either way. /healthz keeps its liveness semantics and its
+// body unchanged.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := s.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
+// maxReplayBodyBytes bounds POST /v1/replay bodies: a rebalance ships
+// a whole registry (up to MaxJobs jobs plus the memo table), far
+// bigger than one job spec.
+const maxReplayBodyBytes = 64 << 20
+
+// ReplayRequest is the POST /v1/replay body: jobs and memoized
+// results recovered from a departed shard's journal (journal.Export +
+// RecoverJobs), shipped here by the gateway's rebalance path.
+type ReplayRequest struct {
+	Jobs []Job                  `json:"jobs,omitempty"`
+	Memo map[string]core.Result `json:"memo,omitempty"`
+}
+
+// handleReplay folds a rebalance payload into the service via
+// IngestJobs. A journal append failure mid-ingest answers 503 with
+// the partial stats — the rebalance must be driven again; everything
+// that landed dedups on the retry.
+func (s *Service) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReplayBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, httpError{http.StatusBadRequest, "bad replay payload: " + err.Error()})
+		return
+	}
+	st, err := s.IngestJobs(req.Jobs, req.Memo)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": err.Error(),
+			"stats": st,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }

@@ -154,56 +154,35 @@ func (s *Service) snapshotLocked() serviceSnapshot {
 	return snap
 }
 
-// replayRecovery applies the journal's recovered state to a fresh
-// service: snapshot first, then the log records appended after it,
-// then re-enqueue of everything non-terminal. It never fails — bad
-// records are counted and skipped, conflicting results are refused by
-// the determinism-guarded memo seed and counted.
+// replayRecovery adopts the journal's recovered state into a fresh
+// service: foldRecovery does the pure reconstruction (snapshot first,
+// then the log records appended after it — shared with the cluster
+// rebalance path), then the fold's registry is installed, its memo
+// seeded into the pool, and everything non-terminal re-enqueued. It
+// never fails — bad records are counted and skipped, conflicting
+// results are refused by the determinism guard and counted.
 func (s *Service) replayRecovery(rec *journal.Recovery) {
-	st := ReplayStats{
-		SnapshotLoaded:  rec.Stats.SnapshotLoaded,
-		SnapshotCorrupt: rec.Stats.SnapshotCorrupt,
-		SegmentsRead:    rec.Stats.SegmentsRead,
-		Truncations:     rec.Stats.Truncations,
-		TruncatedBytes:  rec.Stats.TruncatedBytes,
-	}
+	f := foldRecovery(rec)
+	st := f.stats
 	s.mu.Lock()
-	if rec.Snapshot != nil {
-		var snap serviceSnapshot
-		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
-			st.SnapshotLoaded = false
-			st.SnapshotCorrupt = true
-		} else {
-			s.seq = snap.Seq
-			for i := range snap.Jobs {
-				cp := snap.Jobs[i]
-				s.jobs[cp.ID] = &cp
-				s.order = append(s.order, cp.ID)
-				if cp.IdemKey != "" {
-					s.idem[cp.IdemKey] = cp.ID
-				}
-				st.JobsRestored++
-			}
-			for _, id := range snap.Evicted {
-				s.evicted[id] = true
-				s.evictedOrder = append(s.evictedOrder, id)
-			}
-			for k, r := range snap.Memo {
-				if s.pool.SeedMemo(k, r) {
-					st.ResultsRestored++
-				} else {
-					st.Conflicts++
-				}
-			}
-		}
+	s.seq = f.seq
+	for _, id := range f.order {
+		s.jobs[id] = f.jobs[id]
 	}
-	for _, raw := range rec.Records {
-		var ev jobEvent
-		if err := json.Unmarshal(raw, &ev); err != nil {
-			st.BadRecords++
-			continue
+	s.order = append(s.order, f.order...)
+	for k, id := range f.idem {
+		s.idem[k] = id
+	}
+	for _, id := range f.evictedOrder {
+		s.evicted[id] = true
+	}
+	s.evictedOrder = append(s.evictedOrder, f.evictedOrder...)
+	// At startup the pool memo is empty, so seeding the folded results
+	// can only conflict if the memo itself is corrupt — counted anyway.
+	for _, k := range f.memoOrder {
+		if !s.pool.SeedMemo(k, f.memo[k]) {
+			st.Conflicts++
 		}
-		s.applyEventLocked(ev, &st)
 	}
 	// Everything accepted but never finished runs again. State resets
 	// to Queued here (under the lock) so a concurrent observer never
@@ -234,104 +213,6 @@ func (s *Service) replayRecovery(rec *journal.Recovery) {
 	s.mu.Lock()
 	s.replay = st
 	s.mu.Unlock()
-}
-
-// applyEventLocked folds one log record into the registry.
-func (s *Service) applyEventLocked(ev jobEvent, st *ReplayStats) {
-	st.RecordsApplied++
-	switch ev.Type {
-	case eventAccepted:
-		if ev.ID == "" || ev.Spec == nil {
-			st.BadRecords++
-			return
-		}
-		if _, exists := s.jobs[ev.ID]; exists {
-			return // duplicate append (e.g. replayed twice); first wins
-		}
-		if ev.Seq > s.seq {
-			s.seq = ev.Seq
-		}
-		j := &Job{
-			ID:        ev.ID,
-			Spec:      *ev.Spec,
-			Hash:      ev.Hash,
-			IdemKey:   ev.IdemKey,
-			State:     Queued,
-			Submitted: ev.Time,
-			// Log-record replay reconstructs the lifecycle trace from
-			// the journaled transitions (acceptance implies queueing:
-			// both were durable before the client heard about the job).
-			Trace: []obs.Event{
-				{Name: obs.EventAccepted, Time: ev.Time},
-				{Name: obs.EventQueued, Time: ev.Time},
-			},
-		}
-		s.jobs[j.ID] = j
-		s.order = append(s.order, j.ID)
-		if j.IdemKey != "" {
-			s.idem[j.IdemKey] = j.ID
-		}
-		st.JobsRestored++
-	case eventStarted:
-		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
-			j.State = Running
-			j.Started = ev.Time
-			j.Trace = append(j.Trace, obs.Event{Name: obs.EventStarted, Time: ev.Time})
-		}
-	case eventDone:
-		if ev.Result == nil {
-			st.BadRecords++
-			return
-		}
-		// Seed the memo even when the job itself is unknown (its
-		// acceptance may sit behind a truncated frame): the cycle
-		// count is still good and still saves a re-simulation.
-		if ev.Hash != "" {
-			if s.pool.SeedMemo(ev.Hash, *ev.Result) {
-				st.ResultsRestored++
-			} else {
-				st.Conflicts++
-			}
-		}
-		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
-			j.State = Done
-			j.Result = ev.Result
-			j.FromCache = ev.FromCache
-			j.Finished = ev.Time
-			note := ""
-			if ev.FromCache {
-				note = "cache hit"
-			}
-			j.Trace = append(j.Trace, obs.Event{Name: obs.EventDone, Time: ev.Time, Note: note})
-		}
-	case eventFailed:
-		if j, ok := s.jobs[ev.ID]; ok && !j.State.Terminal() {
-			j.State = Failed
-			j.Error = ev.Error
-			j.Finished = ev.Time
-			j.Trace = append(j.Trace, obs.Event{Name: obs.EventFailed, Time: ev.Time, Note: ev.Error})
-		}
-	case eventAborted:
-		if j, ok := s.jobs[ev.ID]; ok {
-			delete(s.jobs, ev.ID)
-			if j.IdemKey != "" && s.idem[j.IdemKey] == ev.ID {
-				delete(s.idem, j.IdemKey)
-			}
-			s.removeFromOrderLocked(ev.ID)
-		}
-	case eventEvicted:
-		if j, ok := s.jobs[ev.ID]; ok {
-			delete(s.jobs, ev.ID)
-			if j.IdemKey != "" && s.idem[j.IdemKey] == ev.ID {
-				delete(s.idem, j.IdemKey)
-			}
-			s.removeFromOrderLocked(ev.ID)
-			s.evicted[ev.ID] = true
-			s.evictedOrder = append(s.evictedOrder, ev.ID)
-		}
-	default:
-		st.BadRecords++
-	}
 }
 
 // enqueue puts an already-registered job back onto the pool — the

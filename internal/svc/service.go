@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigkern/internal/cache"
@@ -43,6 +44,12 @@ type Options struct {
 	// (method, path, status, duration, request ID). nil disables
 	// access logging; request-ID propagation stays on either way.
 	Logger *slog.Logger
+	// ShardID names this instance in a cluster. When set, issued job
+	// IDs gain a "<shard>-" prefix (s1-j000042-<hash8>) so a gateway
+	// can route status polls back to the issuing shard and rebalanced
+	// jobs can never collide with the successor's own counter. Empty —
+	// the default — keeps the single-node ID format byte-identical.
+	ShardID string
 }
 
 // Service is the simulation job-queue service: it tracks submitted jobs
@@ -62,6 +69,14 @@ type Service struct {
 	// table from the pool's simulated-result memo, so the two tiers can
 	// never serve each other's numbers for the same spec hash.
 	estimates *cache.Memo[roofline.Estimate]
+	// shardID/idPrefix carry the cluster identity (Options.ShardID);
+	// empty on a single-node service.
+	shardID  string
+	idPrefix string
+	// draining flips when the process has been told to stop accepting
+	// new work (SIGTERM) but is still finishing what it has: /readyz
+	// answers 503 while /healthz — liveness — stays 200.
+	draining atomic.Bool
 	// wg tracks the per-job completion goroutines so Close can drain
 	// them before snapshotting final state.
 	wg sync.WaitGroup
@@ -91,18 +106,37 @@ func NewService(opts Options) *Service {
 	if opts.Pool.Faults == nil {
 		opts.Pool.Faults = faults.Default()
 	}
+	prefix := ""
+	if opts.ShardID != "" {
+		prefix = opts.ShardID + "-"
+	}
 	return &Service{
 		pool:      NewPool(opts.Pool),
 		factory:   machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
 		maxJobs:   opts.MaxJobs,
 		breakers:  resilience.NewBreakerSet(opts.Breaker),
 		logger:    opts.Logger,
+		shardID:   opts.ShardID,
+		idPrefix:  prefix,
 		estimates: newEstimateMemo(),
 		jobs:      make(map[string]*Job),
 		evicted:   make(map[string]bool),
 		idem:      make(map[string]string),
 	}
 }
+
+// ShardID returns the cluster identity this service was configured
+// with ("" on a single-node service).
+func (s *Service) ShardID() string { return s.shardID }
+
+// SetDraining marks the service as draining (or not). A draining
+// service still answers every endpoint — it is alive — but /readyz
+// reports 503 so routers stop sending it new work while in-flight
+// jobs finish.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Pool returns the service's worker pool.
 func (s *Service) Pool() *Pool { return s.pool }
@@ -198,7 +232,7 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 	}
 	s.seq++
 	job := &Job{
-		ID:        fmt.Sprintf("j%06d-%s", s.seq, hash[:8]),
+		ID:        fmt.Sprintf("%sj%06d-%s", s.idPrefix, s.seq, hash[:8]),
 		Spec:      norm,
 		Hash:      hash,
 		IdemKey:   key,
