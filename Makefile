@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos soak cluster-soak bench bench-smoke bench-json benchdiff clean
+.PHONY: all build vet test race check chaos soak cluster-soak overload-soak bench bench-smoke bench-json benchdiff clean
 
 # soak sweeps the durability and chaos suites under the race detector
 # across a fixed seed matrix: journal frame/replay tests, svc crash and
@@ -60,6 +60,25 @@ cluster-soak:
 		echo "== cluster soak seed $$seed =="; \
 		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
 			-run 'ClusterSoak|Gateway' ./cmd/simgate/... ./internal/cluster/...; \
+	done
+
+# overload-soak is the overload acceptance run: the deadline-budget,
+# priority-class, and brownout suites under the race detector, capped by
+# a real 4-process flood — three chaos-armed one-worker shards behind a
+# simgate, saturated with mixed-priority traffic. Passing means every
+# answer is a legal overload status, degraded answers are flagged and
+# carry the exact analytic bound, every simulated answer is
+# bit-identical to the in-process reference, no expired job burns a
+# worker slot, and the cluster returns to full simulation once the
+# flood stops. The process tests arm their own fault mix
+# (heavy latency injection, so tiny kernels actually saturate a
+# one-worker queue); only the seed comes from the matrix.
+overload-soak:
+	@set -e; for seed in $(SOAK_SEEDS); do \
+		echo "== overload soak seed $$seed =="; \
+		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Overload|Brownout|Priority|Budget|Expired|Sheds|Deadline' \
+			./cmd/simgate/... ./internal/svc/... ./internal/resilience/... ./internal/cluster/...; \
 	done
 
 bench:

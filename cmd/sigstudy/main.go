@@ -105,7 +105,7 @@ func run(ms []core.Machine, factory svc.MachineFactory, workers int, w core.Work
 	for _, m := range ms {
 		names = append(names, m.Name())
 	}
-	sr, err := svc.RunStudyParallel(context.Background(), pool, factory, names, w)
+	sr, err := svc.RunStudyBatch(context.Background(), pool, factory, names, w)
 	if err != nil {
 		return err
 	}

@@ -78,10 +78,18 @@ func (p *proc) kill() {
 // chaos armed, and waits until /healthz answers anything at all.
 func startProc(t *testing.T, bin, addr string, args ...string) *proc {
 	t.Helper()
+	return startProcChaos(t, bin, addr, soakChaos, args...)
+}
+
+// startProcChaos is startProc with a caller-chosen fault mix — the
+// overload soak arms heavy latency injection so one-worker shards
+// actually saturate.
+func startProcChaos(t *testing.T, bin, addr string, chaos []string, args ...string) *proc {
+	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	full := append([]string{"-addr", addr, "-addrfile", addrFile}, args...)
 	cmd := exec.Command(bin, full...)
-	cmd.Env = append(os.Environ(), append(soakChaos, soakSeed())...)
+	cmd.Env = append(os.Environ(), append(append([]string{}, chaos...), soakSeed())...)
 	var logs bytes.Buffer
 	cmd.Stdout = &logs
 	cmd.Stderr = &logs

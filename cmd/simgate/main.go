@@ -20,7 +20,18 @@
 // client sent none — so retries and reroutes are answered exactly
 // once. Shard failure reroutes along the ring; per-shard circuit
 // breakers stop hammering a dead backend; idempotent reads hedge to
-// the next candidate after -hedge-delay. A dead shard's WAL can be
+// the next candidate after -hedge-delay.
+//
+// Deadline budgets: an X-Deadline-Budget header (or, absent one, the
+// ?timeout= query) bounds the gateway's whole routing effort —
+// reroutes, hedges and all. The remaining budget is sliced evenly
+// across the attempts left, forwarded to each shard as a decremented
+// X-Deadline-Budget, and drives the per-attempt request context; when
+// it runs out mid-route the client gets 504 (counted as
+// simgate_budget_exhausted_total) instead of an open-ended wait.
+// ?tier=, ?priority= and X-Degraded pass through untouched: degrading
+// to an analytic estimate is the shard's brownout decision, and the
+// gateway never masks the flag. A dead shard's WAL can be
 // replayed into its ring successors with POST /v1/rebalance?shard=NAME
 // when -journals maps that shard to a directory the gateway can read.
 //

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/kernels/cornerturn"
+	"sigkern/internal/machines"
+	"sigkern/internal/roofline"
+	"sigkern/internal/svc"
+)
+
+// overloadChaos arms every execution with 150ms of injected latency on
+// top of the usual transient faults: the kernels themselves simulate in
+// microseconds, so without it one-worker shards never saturate and the
+// overload machinery under test would sit idle.
+var overloadChaos = []string{
+	"SIGKERN_FAULTS=pool.execute:transient:0.05,pool.execute:latency:1:150ms",
+}
+
+// overloadSpec is one distinct workload in the flood (distinct specs
+// defeat the memo, so every admission is real simulator work).
+type overloadSpec struct {
+	spec      svc.JobSpec
+	simCycles uint64 // bit-exact reference from an in-process run
+	estCycles uint64 // analytic roofline bound (the degraded answer)
+}
+
+func overloadSpecs(t *testing.T) []overloadSpec {
+	t.Helper()
+	var specs []overloadSpec
+	for _, name := range []string{"PPC", "AltiVec", "VIRAM", "Raw"} {
+		for _, rows := range []int{32, 48, 64, 80} {
+			w := soakWorkload()
+			w.CornerTurn = cornerturn.Spec{Rows: rows, Cols: 64, BlockSize: 16}
+			m, err := machines.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(m, core.CornerTurn, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := roofline.ForJob(name, core.CornerTurn, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs = append(specs, overloadSpec{
+				spec:      svc.JobSpec{Machine: name, Kernel: core.CornerTurn, Workload: &w},
+				simCycles: res.Cycles,
+				estCycles: est.Cycles,
+			})
+		}
+	}
+	return specs
+}
+
+// overloadResult is one flood request's outcome.
+type overloadResult struct {
+	status   int
+	degraded bool // X-Degraded: brownout header present
+	job      svc.Job
+	latency  time.Duration
+	specIdx  int
+	err      error
+}
+
+func postOverload(gwURL, path string, spec svc.JobSpec, budget string) overloadResult {
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPost, gwURL+path, bytes.NewReader(body))
+	if err != nil {
+		return overloadResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budget != "" {
+		req.Header.Set("X-Deadline-Budget", budget)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return overloadResult{err: err}
+	}
+	defer resp.Body.Close()
+	r := overloadResult{
+		status:   resp.StatusCode,
+		degraded: resp.Header.Get("X-Degraded") == "brownout",
+		latency:  time.Since(start),
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&r.job)
+	return r
+}
+
+// TestOverloadSoak floods a chaos-armed 3-shard cluster — tiny queues,
+// one worker each — with mixed-priority traffic and checks the
+// overload contract end to end:
+//
+//   - every response is a legal overload answer (200/202/429/503/504),
+//     never a hang past the deadline budget and never a 5xx surprise
+//   - degraded answers are flagged consistently (X-Degraded header,
+//     Degraded body field, estimate tier) and carry the exact analytic
+//     cycle bound; some brownout answers are actually served
+//   - every simulated answer is bit-identical to the in-process
+//     reference, and no shard records a determinism violation: chaos
+//     plus overload may cost latency or fidelity, never correctness
+//   - once the flood stops and the brownout dwell passes, ?tier=auto
+//     goes back to full simulation
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real 4-process cluster; skipped in -short")
+	}
+	simserved := buildBinary(t, "simserved", "../simserved")
+	simgate := buildBinary(t, "simgate", ".")
+
+	shardNames := []string{"s1", "s2", "s3"}
+	shards := make(map[string]*proc, len(shardNames))
+	var shardSpec []string
+	for _, name := range shardNames {
+		shards[name] = startProcChaos(t, simserved, "127.0.0.1:0", overloadChaos,
+			"-shard", name, "-workers", "1", "-queue", "4", "-timeout", "1m", "-drain", "5s")
+		shardSpec = append(shardSpec, name+"="+shards[name].url)
+	}
+	gw := startProc(t, simgate, "127.0.0.1:0",
+		"-shards", strings.Join(shardSpec, ","),
+		"-probe-interval", "100ms")
+
+	specs := overloadSpecs(t)
+
+	// The flood: interactive clients ask ?tier=auto with a deadline
+	// budget; batch clients submit async at batch priority. Together
+	// they keep 1-worker/4-slot shards saturated.
+	const (
+		interactiveWorkers = 24
+		batchWorkers       = 3
+		roundsPerWorker    = 2
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var interactive, batch []overloadResult
+	for g := 0; g < interactiveWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < roundsPerWorker; round++ {
+				for i := range specs {
+					idx := (i + g*2) % len(specs)
+					r := postOverload(gw.url, "/v1/jobs?tier=auto&wait=1&timeout=20s",
+						specs[idx].spec, "15s")
+					r.specIdx = idx
+					mu.Lock()
+					interactive = append(interactive, r)
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < batchWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < roundsPerWorker; round++ {
+				for i := range specs {
+					idx := (i + g*5) % len(specs)
+					r := postOverload(gw.url, "/v1/jobs?priority=batch", specs[idx].spec, "")
+					r.specIdx = idx
+					mu.Lock()
+					batch = append(batch, r)
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	legal := map[int]bool{
+		http.StatusOK:                 true,
+		http.StatusAccepted:           true,
+		http.StatusTooManyRequests:    true,
+		http.StatusServiceUnavailable: true,
+		http.StatusGatewayTimeout:     true,
+	}
+	var simOK, estOK, shed int
+	var latencies []time.Duration
+	for _, r := range interactive {
+		if r.err != nil {
+			t.Fatalf("interactive request failed at transport level: %v", r.err)
+		}
+		if !legal[r.status] {
+			t.Fatalf("interactive answer %d is not a legal overload status", r.status)
+		}
+		latencies = append(latencies, r.latency)
+		if r.status != http.StatusOK {
+			shed++
+			continue
+		}
+		// Consistency: header <=> body flag <=> tier; auto never leaks.
+		if r.degraded != r.job.Degraded {
+			t.Fatalf("X-Degraded header (%v) and Degraded body (%v) disagree: %+v", r.degraded, r.job.Degraded, r.job)
+		}
+		if r.job.Tier == svc.TierAuto {
+			t.Fatalf("tier=auto leaked into a response: %+v", r.job)
+		}
+		want := specs[r.specIdx]
+		switch {
+		case r.job.Degraded:
+			if r.job.Tier != svc.TierEstimate {
+				t.Fatalf("degraded answer on tier %q, want estimate: %+v", r.job.Tier, r.job)
+			}
+			if r.job.Result == nil || r.job.Result.Cycles != want.estCycles {
+				t.Fatalf("degraded answer cycles %+v, want analytic bound %d", r.job.Result, want.estCycles)
+			}
+			estOK++
+		default:
+			if r.job.Tier != svc.TierSimulate && r.job.Tier != "" {
+				t.Fatalf("non-degraded answer on tier %q: %+v", r.job.Tier, r.job)
+			}
+			if r.job.State != svc.Done || r.job.Result == nil {
+				t.Fatalf("simulated answer not terminal: %+v", r.job)
+			}
+			if r.job.Result.Cycles != want.simCycles {
+				t.Fatalf("%s/%d: cluster cycles %d, reference %d — overload corrupted a simulation",
+					want.spec.Machine, want.spec.Workload.CornerTurn.Rows, r.job.Result.Cycles, want.simCycles)
+			}
+			simOK++
+		}
+	}
+	for _, r := range batch {
+		if r.err != nil {
+			t.Fatalf("batch request failed at transport level: %v", r.err)
+		}
+		if !legal[r.status] {
+			t.Fatalf("batch answer %d is not a legal overload status", r.status)
+		}
+		if r.degraded {
+			t.Fatalf("batch submit (no tier=auto) came back degraded: %+v", r.job)
+		}
+	}
+	if simOK == 0 {
+		t.Fatal("flood produced zero successful simulations")
+	}
+	if estOK == 0 {
+		t.Fatal("flood never browned out: no degraded answer served by saturated 1-worker shards")
+	}
+	t.Logf("interactive: %d simulated, %d degraded, %d shed/timed out; batch: %d submits",
+		simOK, estOK, shed, len(batch))
+
+	// Budget-bounded tail: the p99 interactive wall clock must sit well
+	// under the unbudgeted worst case (60s job timeout) — shedding,
+	// fast-rejects and brownouts answer quickly, and the 15s budget
+	// caps what is left. Allow transport slack over the 20s wait cap.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if p99 > 30*time.Second {
+		t.Fatalf("interactive p99 = %s: the deadline budget did not bound the tail", p99)
+	}
+
+	// Recovery: after the flood drains and the brownout dwell passes,
+	// ?tier=auto must serve full simulations again.
+	deadline := time.Now().Add(20 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		time.Sleep(500 * time.Millisecond)
+		r := postOverload(gw.url, "/v1/jobs?tier=auto&wait=1&timeout=30s", specs[0].spec, "")
+		if r.err == nil && r.status == http.StatusOK && !r.job.Degraded {
+			if r.job.Result == nil || r.job.Result.Cycles != specs[0].simCycles {
+				t.Fatalf("post-recovery simulation cycles %+v, reference %d", r.job.Result, specs[0].simCycles)
+			}
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("?tier=auto never returned to the simulate tier after the flood stopped")
+	}
+
+	// Chaos plus overload may never cost correctness: zero
+	// determinism-guard trips on every shard, and the priority/budget
+	// machinery actually engaged somewhere in the cluster.
+	var totalShed, totalExpired, totalBudget, totalBrownout uint64
+	for _, name := range shardNames {
+		var m struct {
+			Determinism    uint64 `json:"determinism_violations"`
+			Shed           uint64 `json:"jobs_shed"`
+			ShedBatch      uint64 `json:"jobs_shed_batch"`
+			BudgetRejected uint64 `json:"budget_rejected"`
+			ExpiredDropped uint64 `json:"expired_jobs_dropped"`
+			BrownoutServed uint64 `json:"brownout_served"`
+		}
+		getJSON(t, shards[name].url+"/metrics?format=json", &m)
+		if m.Determinism != 0 {
+			t.Fatalf("shard %s recorded %d determinism violations", name, m.Determinism)
+		}
+		totalShed += m.Shed
+		totalExpired += m.ExpiredDropped
+		totalBudget += m.BudgetRejected
+		totalBrownout += m.BrownoutServed
+	}
+	if totalBrownout == 0 {
+		t.Fatal("no shard counted a brownout-served answer despite degraded responses")
+	}
+	t.Logf("cluster totals: shed=%d expired_dropped=%d budget_rejected=%d brownout_served=%d",
+		totalShed, totalExpired, totalBudget, totalBrownout)
+}
+
+// TestOverloadBatchYieldsToInteractive drives one tiny shard directly
+// (no gateway): with the queue full of batch work, an interactive
+// submit must still be admitted — the two-level queue holds a slot —
+// while one more batch submit sheds first.
+func TestOverloadBatchYieldsToInteractive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real shard process; skipped in -short")
+	}
+	simserved := buildBinary(t, "simserved", "../simserved")
+	shard := startProcChaos(t, simserved, "127.0.0.1:0", overloadChaos,
+		"-shard", "solo", "-workers", "1", "-queue", "8", "-timeout", "1m", "-drain", "5s")
+
+	// Saturate with async batch submissions of distinct specs.
+	specs := overloadSpecs(t)
+	var batchStatuses []int
+	for _, s := range specs {
+		r := postOverload(shard.url, "/v1/jobs?priority=batch", s.spec, "")
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		batchStatuses = append(batchStatuses, r.status)
+	}
+	sawShed := false
+	for _, st := range batchStatuses {
+		if st == http.StatusTooManyRequests {
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Fatalf("16 async batch submits against a 1-worker/8-slot shard never shed: %v", batchStatuses)
+	}
+	// Interactive still gets in (batch sheds at 3/4 interactive
+	// occupancy, and the interactive queue is empty).
+	w := soakWorkload()
+	w.CornerTurn = cornerturn.Spec{Rows: 96, Cols: 64, BlockSize: 16}
+	r := postOverload(shard.url, "/v1/jobs",
+		svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w}, "")
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.status != http.StatusAccepted && r.status != http.StatusOK {
+		t.Fatalf("interactive submit on a batch-saturated shard: status %d, want admission", r.status)
+	}
+	var m struct {
+		Shed      uint64 `json:"jobs_shed"`
+		ShedBatch uint64 `json:"jobs_shed_batch"`
+	}
+	getJSON(t, shard.url+"/metrics?format=json", &m)
+	if m.ShedBatch == 0 || m.ShedBatch != m.Shed {
+		t.Fatalf("shed=%d shed_batch=%d: only batch work should have shed", m.Shed, m.ShedBatch)
+	}
+}

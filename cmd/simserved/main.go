@@ -9,11 +9,23 @@
 // Endpoints:
 //
 //	POST /v1/jobs        {"machine":"VIRAM","kernel":"corner-turn"}; ?wait=1 blocks,
-//	                     ?timeout=30s bounds the wait; an Idempotency-Key
-//	                     header makes retries safe. ?tier=estimate answers
-//	                     synchronously from the analytic roofline model in
-//	                     microseconds (no pool admission, no journal write);
-//	                     the default ?tier=simulate runs the simulator
+//	                     ?timeout=30s bounds the wait (malformed values are
+//	                     400 with a structured param error); an
+//	                     Idempotency-Key header makes retries safe.
+//	                     ?tier=estimate answers synchronously from the
+//	                     analytic roofline model in microseconds (no pool
+//	                     admission, no journal write); the default
+//	                     ?tier=simulate runs the simulator; ?tier=auto lets
+//	                     the brownout controller pick per request — a
+//	                     degraded answer carries Degraded:true in the body
+//	                     and an X-Degraded: brownout header.
+//	                     ?priority=interactive|batch picks the admission
+//	                     class (batch is shed first under load), and an
+//	                     X-Deadline-Budget header (a Go duration) caps the
+//	                     total time the caller will wait: submissions that
+//	                     cannot drain inside the budget are rejected 504
+//	                     up front, and queued jobs whose budget expires are
+//	                     dropped at pickup instead of burning a worker slot
 //	GET  /v1/jobs        list jobs (?limit= page size, ?after= cursor)
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /v1/jobs/{id}/trace  job lifecycle trace (accepted/queued/started/...)
@@ -30,10 +42,19 @@
 // Every request is logged via log/slog (-log-format selects text or
 // json) with a request ID that is also echoed as X-Request-Id.
 //
-// Admission control: the job queue is bounded (-queue); once it fills,
-// submissions are shed with 429 and a Retry-After estimate instead of
-// queueing unboundedly. Per-machine circuit breakers answer 503 while a
-// backend is tripping. Transient failures (including injected chaos
+// Admission control: the job queue is bounded (-queue) and two-level —
+// interactive work drains strictly before batch, and under saturation
+// batch is shed first (429 with a priority-aware Retry-After estimate)
+// so sweeps never starve interactive callers. Deadline budgets
+// (X-Deadline-Budget) reject up front with 504 when the executed-job
+// p99 says the queue cannot drain in time, and expired jobs are dropped
+// at worker pickup. When the interactive queue, executed-job p99, or an
+// open breaker says the shard is saturated, the brownout controller
+// (hysteresis plus a minimum dwell, surfaced as the
+// simserved_brownout_active gauge and in /healthz and /readyz) degrades
+// ?tier=auto requests to the analytic estimate instead of queueing
+// them. Per-machine circuit breakers answer 503 while a backend is
+// tripping. Transient failures (including injected chaos
 // faults, see SIGKERN_FAULTS in internal/faults) are retried with
 // backoff, and every result served is checked against the memoized
 // cycle count for its spec hash — a determinism violation is a hard

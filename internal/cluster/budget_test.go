@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/svc"
+)
+
+// stallShard answers probes instantly but stalls every submit until
+// the request context dies — a shard that is alive and ready but
+// pathologically slow.
+func stallShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	stop := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" || r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// Stall until the caller gives up or the test tears down (the
+		// stop channel lets Server.Close reclaim handlers whose client
+		// abort the server never noticed).
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(func() {
+		close(stop)
+		srv.Close()
+	})
+	return srv
+}
+
+func postSpec(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	w := smallWorkload()
+	body, err := json.Marshal(svc.JobSpec{Machine: "PPC", Kernel: core.CornerTurn, Workload: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGatewayBudgetExhausted504: with every shard stalling, a submit
+// carrying a deadline budget must come back 504 once the budget is
+// spent — not hang for the transport timeout, and not 502.
+func TestGatewayBudgetExhausted504(t *testing.T) {
+	s1, s2 := stallShard(t), stallShard(t)
+	gw, err := NewGateway(Options{
+		Shards:        []Shard{{Name: "s1", URL: s1.URL}, {Name: "s2", URL: s2.URL}},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	start := time.Now()
+	resp := postSpec(t, gwSrv.URL, map[string]string{"X-Deadline-Budget": "300ms"})
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %s: the budget did not bound the attempts", elapsed)
+	}
+	if got := gw.Metrics().Snapshot().BudgetExhausted; got != 1 {
+		t.Fatalf("budget_exhausted_total = %d, want 1", got)
+	}
+}
+
+// TestGatewayBudgetFromTimeoutQuery: a client that set only ?timeout=
+// gets the same protection — the wait timeout doubles as the deadline
+// budget.
+func TestGatewayBudgetFromTimeoutQuery(t *testing.T) {
+	s1 := stallShard(t)
+	gw, err := NewGateway(Options{Shards: []Shard{{Name: "s1", URL: s1.URL}}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	start := time.Now()
+	w := smallWorkload()
+	body, _ := json.Marshal(svc.JobSpec{Machine: "PPC", Kernel: core.CornerTurn, Workload: &w})
+	req, err := http.NewRequest(http.MethodPost, gwSrv.URL+"/v1/jobs?wait=1&timeout=300ms", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("504 took %s: ?timeout= did not bound the route", elapsed)
+	}
+}
+
+// TestGatewayForwardsSlicedBudget: the shard must see an
+// X-Deadline-Budget no larger than what the client sent — the gateway
+// slices the remaining budget across attempts instead of forwarding
+// the original untouched (satellite: the per-attempt context derives
+// from the budget, not the bare request context).
+func TestGatewayForwardsSlicedBudget(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" || r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		mu.Lock()
+		got = append(got, r.Header.Get("X-Deadline-Budget"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"s1-1","state":"done"}`))
+	}))
+	defer fast.Close()
+	gw, err := NewGateway(Options{Shards: []Shard{{Name: "s1", URL: fast.URL}}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	resp := postSpec(t, gwSrv.URL, map[string]string{"X-Deadline-Budget": "10s"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("shard saw %d submits, want 1", len(got))
+	}
+	d, err := time.ParseDuration(got[0])
+	if err != nil {
+		t.Fatalf("shard saw X-Deadline-Budget %q: %v", got[0], err)
+	}
+	if d <= 0 || d > 10*time.Second {
+		t.Fatalf("forwarded budget %s outside (0, 10s]", d)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseShards: the membership parser faces operator-typed flag
+// values; it must never panic, and anything it accepts must hold the
+// documented invariants (unique non-empty names, parseable URLs with
+// scheme and host, no trailing slash).
+func FuzzParseShards(f *testing.F) {
+	f.Add("s1=http://localhost:8080")
+	f.Add("s1=http://a:1,s2=http://b:2,s3=http://c:3")
+	f.Add("s1=http://a:1,s1=http://b:2")
+	f.Add(" s1 = http://a:1 , , ")
+	f.Add("=http://a:1")
+	f.Add("s1=")
+	f.Add("s1")
+	f.Add("s1=http://a:1/")
+	f.Add("s1=://nohost")
+	f.Add(",,,")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		shards, err := ParseShards(spec)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]bool)
+		for _, s := range shards {
+			if s.Name == "" {
+				t.Fatalf("ParseShards(%q) accepted an empty shard name", spec)
+			}
+			if seen[s.Name] {
+				t.Fatalf("ParseShards(%q) accepted duplicate shard %q", spec, s.Name)
+			}
+			seen[s.Name] = true
+			if s.URL == "" || strings.HasSuffix(s.URL, "/") {
+				t.Fatalf("ParseShards(%q) kept unnormalized URL %q", spec, s.URL)
+			}
+		}
+		// Round-trip: re-encoding what was accepted must parse to the
+		// same membership. The encoder quotes nothing, so skip inputs
+		// whose accepted fields themselves contain separators (a comma
+		// inside a URL is valid URL syntax but not re-encodable).
+		var parts []string
+		for _, s := range shards {
+			if strings.ContainsAny(s.Name, ",=") || strings.ContainsAny(s.URL, ",") {
+				return
+			}
+			parts = append(parts, s.Name+"="+s.URL)
+		}
+		again, err := ParseShards(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("ParseShards round-trip of %q failed: %v", spec, err)
+		}
+		if len(again) != len(shards) {
+			t.Fatalf("ParseShards round-trip of %q: %d shards, want %d", spec, len(again), len(shards))
+		}
+		for i := range shards {
+			if again[i] != shards[i] {
+				t.Fatalf("ParseShards round-trip of %q: shard %d = %+v, want %+v", spec, i, again[i], shards[i])
+			}
+		}
+	})
+}
+
+// FuzzParseKVSpec mirrors FuzzParseShards for the -shardfiles and
+// -journals flag syntax: no panics, no empty or duplicate keys, and
+// accepted specs re-encode to the same map.
+func FuzzParseKVSpec(f *testing.F) {
+	f.Add("a=1,b=2")
+	f.Add("a=1,a=2")
+	f.Add("=1")
+	f.Add("a=")
+	f.Add("a")
+	f.Add(" a = /tmp/x , b = /tmp/y ")
+	f.Add(",,,")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		kv, err := ParseKVSpec(spec)
+		if err != nil {
+			return
+		}
+		if kv == nil {
+			t.Fatalf("ParseKVSpec(%q) returned a nil map without error", spec)
+		}
+		var parts []string
+		for k, v := range kv {
+			if k == "" || v == "" {
+				t.Fatalf("ParseKVSpec(%q) accepted empty key or value (%q=%q)", spec, k, v)
+			}
+			if strings.ContainsAny(k, ",=") || strings.ContainsAny(v, ",") {
+				return
+			}
+			parts = append(parts, k+"="+v)
+		}
+		again, err := ParseKVSpec(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("ParseKVSpec round-trip of %q failed: %v", spec, err)
+		}
+		if len(again) != len(kv) {
+			t.Fatalf("ParseKVSpec round-trip of %q: %d entries, want %d", spec, len(again), len(kv))
+		}
+		for k, v := range kv {
+			if again[k] != v {
+				t.Fatalf("ParseKVSpec round-trip of %q: %q=%q, want %q", spec, k, again[k], v)
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ type Metrics struct {
 	hedgeWins        atomic.Uint64
 	upstreamErrors   atomic.Uint64
 	breakerRejected  atomic.Uint64
+	budgetExhausted  atomic.Uint64
 	rebalances       atomic.Uint64
 	rebalanceRecords atomic.Uint64
 
@@ -40,6 +41,7 @@ func (m *Metrics) hedgeInc()                 { m.hedges.Add(1) }
 func (m *Metrics) hedgeWinInc()              { m.hedgeWins.Add(1) }
 func (m *Metrics) upstreamErrorInc()         { m.upstreamErrors.Add(1) }
 func (m *Metrics) breakerRejectedInc()       { m.breakerRejected.Add(1) }
+func (m *Metrics) budgetExhaustedInc()       { m.budgetExhausted.Add(1) }
 func (m *Metrics) rebalanceDone(records int) { m.rebalances.Add(1); m.rebalanceRecords.Add(uint64(records)) }
 
 // setShardState records a probe verdict for the health gauges.
@@ -64,6 +66,7 @@ type Snapshot struct {
 	HedgeWins        uint64          `json:"hedge_wins_total"`
 	UpstreamErrors   uint64          `json:"upstream_errors_total"`
 	BreakerRejected  uint64          `json:"breaker_rejected_total"`
+	BudgetExhausted  uint64          `json:"budget_exhausted_total"`
 	Rebalances       uint64          `json:"rebalances_total"`
 	RebalanceRecords uint64          `json:"rebalance_records_total"`
 	ShardHealthy     map[string]bool `json:"shard_healthy"`
@@ -79,6 +82,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		HedgeWins:        m.hedgeWins.Load(),
 		UpstreamErrors:   m.upstreamErrors.Load(),
 		BreakerRejected:  m.breakerRejected.Load(),
+		BudgetExhausted:  m.budgetExhausted.Load(),
 		Rebalances:       m.rebalances.Load(),
 		RebalanceRecords: m.rebalanceRecords.Load(),
 		ShardHealthy:     make(map[string]bool),
@@ -108,6 +112,7 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"hedge_wins_total", s.HedgeWins},
 		{"upstream_errors_total", s.UpstreamErrors},
 		{"breaker_rejected_total", s.BreakerRejected},
+		{"budget_exhausted_total", s.BudgetExhausted},
 		{"rebalances_total", s.Rebalances},
 		{"rebalance_records_total", s.RebalanceRecords},
 	} {
@@ -140,6 +145,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"simgate_hedge_wins_total", "Hedged requests that answered before the primary.", s.HedgeWins},
 		{"simgate_upstream_errors_total", "Transport-level failures talking to shards.", s.UpstreamErrors},
 		{"simgate_breaker_rejected_total", "Requests skipped past a shard with an open circuit breaker.", s.BreakerRejected},
+		{"simgate_budget_exhausted_total", "Requests answered 504 because their deadline budget ran out mid-route.", s.BudgetExhausted},
 		{"simgate_rebalances_total", "WAL rebalances driven to completion.", s.Rebalances},
 		{"simgate_rebalance_records_total", "Jobs and memoized results replayed into successors by rebalance.", s.RebalanceRecords},
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -216,7 +217,7 @@ func (g *Gateway) do(ctx context.Context, shard, method, pathAndQuery string, bo
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range []string{"Content-Type", "Idempotency-Key", "X-Request-Id", "Accept"} {
+	for _, k := range []string{"Content-Type", "Idempotency-Key", "X-Request-Id", "X-Deadline-Budget", "Accept"} {
 		if v := hdr.Get(k); v != "" {
 			req.Header.Set(k, v)
 		}
@@ -276,6 +277,18 @@ func writeGatewayError(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// submitBudget extracts the request's deadline budget: the client's
+// X-Deadline-Budget header, or — the common case — the ?timeout= the
+// client is already waiting with. Zero means unbounded (the pre-budget
+// behavior).
+func submitBudget(r *http.Request) (time.Duration, error) {
+	v := r.Header.Get("X-Deadline-Budget")
+	if v == "" {
+		v = r.URL.Query().Get("timeout")
+	}
+	return resilience.ParseTimeout(v, 0)
+}
+
 // handleSubmit routes a job submission by its canonical spec hash and
 // reroutes along the hash ring when the owner fails. The
 // Idempotency-Key — the client's, or the spec hash when the client
@@ -283,6 +296,13 @@ func writeGatewayError(w http.ResponseWriter, status int, msg string) {
 // journaled the job from an earlier (timed-out but delivered) attempt
 // answers with the original instead of duplicate work: every rerouted
 // job is answered exactly once.
+//
+// The deadline budget (X-Deadline-Budget, defaulted from ?timeout=)
+// is spent down across attempts: each shard gets an even slice of
+// what remains — its per-attempt context and the decremented budget
+// header it sees — and when the budget runs out mid-route the gateway
+// answers 504 instead of burning more attempts on a client that has
+// already given up.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
@@ -310,6 +330,15 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if hdr.Get("Idempotency-Key") == "" {
 		hdr.Set("Idempotency-Key", hash)
 	}
+	budget, err := submitBudget(r)
+	if err != nil {
+		writeGatewayError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 
 	g.metrics.proxiedInc()
 	order := g.routeOrder(hash)
@@ -319,9 +348,10 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		path += "?" + q
 	}
 	maxRetryAfter := 0
+	budgetSpent := false
 	var last *bufferedResponse
 	lastShard := ""
-	for _, name := range order {
+	for i, name := range order {
 		br := g.breakers.Get(name)
 		if err := br.Allow(); err != nil {
 			g.metrics.breakerRejectedInc()
@@ -330,7 +360,27 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		resp, err := g.do(r.Context(), name, http.MethodPost, path, body, hdr)
+		// Each attempt gets an even slice of the remaining budget — its
+		// own context deadline, and the decremented X-Deadline-Budget the
+		// shard sees — so a slow first shard cannot eat the whole budget
+		// and leave the reroute a guaranteed failure.
+		attemptCtx := r.Context()
+		cancel := func() {}
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				budgetSpent = true
+				break
+			}
+			slice := remaining
+			if left := len(order) - i; left > 1 {
+				slice = remaining / time.Duration(left)
+			}
+			hdr.Set("X-Deadline-Budget", slice.String())
+			attemptCtx, cancel = context.WithTimeout(r.Context(), slice)
+		}
+		resp, err := g.do(attemptCtx, name, http.MethodPost, path, body, hdr)
+		cancel()
 		if err != nil {
 			g.metrics.upstreamErrorInc()
 			br.Record(false)
@@ -357,6 +407,20 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// saturation is backpressure to honor, not a failure to hide —
 		// rerouting overload would melt the next shard too.
 		writeBuffered(w, resp, name, 0)
+		return
+	}
+	if !deadline.IsZero() && !budgetSpent && time.Now().After(deadline) {
+		// Every attempt slice timed out: the budget died inside do(),
+		// not at the top of the loop.
+		budgetSpent = true
+	}
+	if budgetSpent {
+		g.metrics.budgetExhaustedInc()
+		if maxRetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(maxRetryAfter))
+		}
+		writeGatewayError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("cluster: deadline budget %s exhausted routing job", budget))
 		return
 	}
 	if last != nil {
@@ -423,6 +487,11 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request, suffix st
 		path += "?" + q
 	}
 	g.metrics.proxiedInc()
+	budget, err := submitBudget(r)
+	if err != nil {
+		writeGatewayError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	type attempt struct {
 		shard  string
@@ -432,6 +501,11 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request, suffix st
 	}
 	results := make(chan attempt, len(candidates))
 	ctx, cancel := context.WithCancel(r.Context())
+	if budget > 0 {
+		// The whole candidate walk — hedges included — shares the one
+		// deadline budget.
+		ctx, cancel = context.WithTimeout(r.Context(), budget)
+	}
 	defer cancel()
 	fire := func(shard string, hedged bool) {
 		go func() {
@@ -499,6 +573,12 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request, suffix st
 	}
 	if miss != nil {
 		writeBuffered(w, miss, missShard, 0)
+		return
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		g.metrics.budgetExhaustedInc()
+		writeGatewayError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("cluster: deadline budget %s exhausted reading job %q", budget, id))
 		return
 	}
 	writeGatewayError(w, http.StatusBadGateway, fmt.Sprintf("cluster: no shard could answer for job %q", id))

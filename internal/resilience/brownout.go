@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout defaults: enter degraded service when the admission queue is
+// three-quarters full, leave only once it has drained below one quarter,
+// and never flip twice within the hold interval. The asymmetric
+// thresholds plus the dwell are what keep a load level that hovers at
+// the boundary from flapping the service between tiers.
+const (
+	DefaultBrownoutEnterFrac = 0.75
+	DefaultBrownoutExitFrac  = 0.25
+	DefaultBrownoutMinHold   = 2 * time.Second
+)
+
+// BrownoutInputs is one observation of service pressure: admission-queue
+// occupancy, the executed-job p99 (the dual-window latency split's
+// simulator-only signal), and how many circuit breakers are not closed.
+type BrownoutInputs struct {
+	// QueueDepth / QueueCap describe the admission queue feeding the
+	// workers; QueueCap <= 0 disables the queue signal.
+	QueueDepth int
+	QueueCap   int
+	// ExecP99 is the rolling executed-job p99 latency; 0 (cold window)
+	// never triggers the latency signal.
+	ExecP99 time.Duration
+	// BreakersOpen counts circuit breakers that are not Closed. Any
+	// non-closed breaker is treated as pressure: it both enters brownout
+	// and blocks exit.
+	BreakersOpen int
+}
+
+// BrownoutConfig tunes the hysteresis controller. The zero value uses
+// the defaults above with the latency signal disabled.
+type BrownoutConfig struct {
+	// EnterQueueFrac is the queue occupancy (depth/cap) at or above
+	// which brownout engages; ExitQueueFrac is the occupancy the queue
+	// must drain to (inclusive) before brownout can clear. Enter must
+	// exceed Exit or every observation near the boundary would flap.
+	EnterQueueFrac float64
+	ExitQueueFrac  float64
+	// EnterExecP99 engages brownout when the executed-job p99 reaches
+	// it; ExitExecP99 is the level p99 must fall back to (inclusive)
+	// before clearing. <= 0 disables the latency signal.
+	EnterExecP99 time.Duration
+	ExitExecP99  time.Duration
+	// MinHold is the dwell: once the controller flips, it holds that
+	// verdict for at least MinHold regardless of the inputs. The very
+	// first engagement is exempt — a fresh controller must be able to
+	// brown out immediately.
+	MinHold time.Duration
+	// Now is the clock (tests inject a fake one); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.EnterQueueFrac <= 0 {
+		c.EnterQueueFrac = DefaultBrownoutEnterFrac
+	}
+	if c.ExitQueueFrac <= 0 {
+		c.ExitQueueFrac = DefaultBrownoutExitFrac
+	}
+	if c.MinHold <= 0 {
+		c.MinHold = DefaultBrownoutMinHold
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BrownoutStats is a point-in-time view of the controller.
+type BrownoutStats struct {
+	Active bool `json:"active"`
+	// Flips counts verdict changes since construction (both directions).
+	Flips uint64 `json:"flips"`
+	// Since is when the current verdict took effect (zero before the
+	// first flip).
+	Since time.Time `json:"since"`
+}
+
+// Brownout is the hysteresis admission controller behind ?tier=auto:
+// it watches queue depth, executed-job p99, and breaker state, and
+// decides whether the service should degrade to the analytic estimate
+// tier. Enter and exit thresholds are deliberately far apart, and a
+// minimum hold time separates flips, so load hovering at one threshold
+// cannot oscillate the service between full simulation and estimates.
+// Safe for concurrent use.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu       sync.Mutex
+	active   bool
+	lastFlip time.Time
+	flips    uint64
+}
+
+// NewBrownout builds a controller; zero-value fields of cfg take the
+// package defaults.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	return &Brownout{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one pressure reading into the controller and returns
+// the current verdict: true means browned out (serve the estimate
+// tier). Each caller must resolve its request from this single return
+// value — re-reading Active mid-request could see a different verdict.
+func (b *Brownout) Observe(in BrownoutInputs) bool {
+	enter := false
+	exit := true
+	if in.QueueCap > 0 {
+		frac := float64(in.QueueDepth) / float64(in.QueueCap)
+		if frac >= b.cfg.EnterQueueFrac {
+			enter = true
+		}
+		if frac > b.cfg.ExitQueueFrac {
+			exit = false
+		}
+	}
+	if b.cfg.EnterExecP99 > 0 && in.ExecP99 >= b.cfg.EnterExecP99 {
+		enter = true
+	}
+	if b.cfg.ExitExecP99 > 0 && in.ExecP99 > b.cfg.ExitExecP99 {
+		exit = false
+	}
+	if in.BreakersOpen > 0 {
+		enter = true
+		exit = false
+	}
+
+	now := b.cfg.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.active && enter:
+		// First engagement is exempt from the dwell; later re-entries
+		// honor it so a flap at the enter threshold stays bounded.
+		if b.lastFlip.IsZero() || now.Sub(b.lastFlip) >= b.cfg.MinHold {
+			b.active = true
+			b.lastFlip = now
+			b.flips++
+		}
+	case b.active && exit:
+		if now.Sub(b.lastFlip) >= b.cfg.MinHold {
+			b.active = false
+			b.lastFlip = now
+			b.flips++
+		}
+	}
+	return b.active
+}
+
+// Active returns the current verdict without folding in a new
+// observation.
+func (b *Brownout) Active() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Stats returns a snapshot of the controller.
+func (b *Brownout) Stats() BrownoutStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutStats{Active: b.active, Flips: b.flips, Since: b.lastFlip}
+}

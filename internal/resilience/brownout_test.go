@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// brownoutClock hands the brownout controller a deterministic, manually
+// advanced time source.
+type brownoutClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newBrownoutClock() *brownoutClock {
+	return &brownoutClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *brownoutClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *brownoutClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	clk := newBrownoutClock()
+	b := NewBrownout(BrownoutConfig{MinHold: time.Second, Now: clk.Now})
+
+	if b.Observe(BrownoutInputs{QueueDepth: 0, QueueCap: 8}) {
+		t.Fatal("idle service browned out")
+	}
+	// 6/8 = 0.75 meets the default enter fraction; the first engagement
+	// is exempt from the dwell.
+	if !b.Observe(BrownoutInputs{QueueDepth: 6, QueueCap: 8}) {
+		t.Fatal("queue at enter threshold did not engage brownout")
+	}
+	// In the hysteresis band (between exit and enter): verdict holds.
+	clk.Advance(2 * time.Second)
+	if !b.Observe(BrownoutInputs{QueueDepth: 4, QueueCap: 8}) {
+		t.Fatal("brownout cleared inside the hysteresis band")
+	}
+	// 2/8 = 0.25 is at the exit fraction (inclusive) and the dwell has
+	// passed: clear.
+	clk.Advance(2 * time.Second)
+	if b.Observe(BrownoutInputs{QueueDepth: 2, QueueCap: 8}) {
+		t.Fatal("drained queue did not clear brownout")
+	}
+	st := b.Stats()
+	if st.Flips != 2 || st.Active {
+		t.Fatalf("stats = %+v, want 2 flips, inactive", st)
+	}
+}
+
+func TestBrownoutDwellBlocksFlapping(t *testing.T) {
+	clk := newBrownoutClock()
+	b := NewBrownout(BrownoutConfig{MinHold: 10 * time.Second, Now: clk.Now})
+
+	full := BrownoutInputs{QueueDepth: 8, QueueCap: 8}
+	empty := BrownoutInputs{QueueDepth: 0, QueueCap: 8}
+	if !b.Observe(full) {
+		t.Fatal("full queue did not engage brownout")
+	}
+	// Oscillate the inputs hard inside the dwell: the verdict must not
+	// move, in either direction.
+	for i := 0; i < 20; i++ {
+		clk.Advance(100 * time.Millisecond)
+		in := empty
+		if i%2 == 0 {
+			in = full
+		}
+		if !b.Observe(in) {
+			t.Fatalf("observation %d flipped the verdict inside the dwell", i)
+		}
+	}
+	if got := b.Stats().Flips; got != 1 {
+		t.Fatalf("flips = %d inside dwell, want 1", got)
+	}
+	clk.Advance(10 * time.Second)
+	if b.Observe(empty) {
+		t.Fatal("empty queue after dwell did not clear brownout")
+	}
+}
+
+func TestBrownoutExecP99Signal(t *testing.T) {
+	clk := newBrownoutClock()
+	b := NewBrownout(BrownoutConfig{
+		EnterExecP99: 100 * time.Millisecond,
+		ExitExecP99:  50 * time.Millisecond,
+		MinHold:      time.Second,
+		Now:          clk.Now,
+	})
+	if b.Observe(BrownoutInputs{ExecP99: 99 * time.Millisecond}) {
+		t.Fatal("p99 below enter threshold engaged brownout")
+	}
+	if !b.Observe(BrownoutInputs{ExecP99: 100 * time.Millisecond}) {
+		t.Fatal("p99 at enter threshold did not engage brownout")
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Observe(BrownoutInputs{ExecP99: 80 * time.Millisecond}) {
+		t.Fatal("p99 above exit threshold cleared brownout")
+	}
+	clk.Advance(2 * time.Second)
+	if b.Observe(BrownoutInputs{ExecP99: 50 * time.Millisecond}) {
+		t.Fatal("p99 at exit threshold did not clear brownout")
+	}
+}
+
+func TestBrownoutBreakerSignal(t *testing.T) {
+	clk := newBrownoutClock()
+	b := NewBrownout(BrownoutConfig{MinHold: time.Second, Now: clk.Now})
+	if !b.Observe(BrownoutInputs{QueueCap: 8, BreakersOpen: 1}) {
+		t.Fatal("open breaker did not engage brownout")
+	}
+	// The breaker blocks exit even with an empty queue.
+	clk.Advance(2 * time.Second)
+	if !b.Observe(BrownoutInputs{QueueCap: 8, BreakersOpen: 1}) {
+		t.Fatal("brownout cleared while a breaker was open")
+	}
+	if b.Observe(BrownoutInputs{QueueCap: 8}) {
+		t.Fatal("brownout held after the breaker closed")
+	}
+}
+
+func TestBrownoutColdSignalsNeverEngage(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{})
+	// No queue (cap 0), cold latency window, closed breakers: every
+	// signal disabled — the controller must stay off.
+	for i := 0; i < 10; i++ {
+		if b.Observe(BrownoutInputs{}) {
+			t.Fatal("controller engaged with every signal disabled")
+		}
+	}
+}

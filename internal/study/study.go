@@ -110,7 +110,8 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 			}
 			run := mr.run
 			fut, err := pool.Submit(svc.Task{
-				Label: fmt.Sprintf("%s @ %s", mr.machine, p.label),
+				Label:    fmt.Sprintf("%s @ %s", mr.machine, p.label),
+				Priority: svc.PriorityBatch,
 				Run: func(context.Context) (core.Result, error) {
 					return run()
 				},

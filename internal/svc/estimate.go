@@ -19,10 +19,14 @@ import (
 // estimate (a lower bound, microseconds, no simulator state built).
 type Tier string
 
-// The two quality tiers of POST /v1/jobs?tier=.
+// The quality tiers of POST /v1/jobs?tier=. TierAuto is never stored
+// on a job: the brownout controller resolves it to simulate or
+// estimate exactly once per request (Service.ResolveTier), so one
+// response can never mix tiers.
 const (
 	TierSimulate Tier = "simulate"
 	TierEstimate Tier = "estimate"
+	TierAuto     Tier = "auto"
 )
 
 // ParseTier maps the ?tier= query value onto a Tier. Empty means
@@ -33,8 +37,10 @@ func ParseTier(v string) (Tier, error) {
 		return TierSimulate, nil
 	case TierEstimate:
 		return TierEstimate, nil
+	case TierAuto:
+		return TierAuto, nil
 	}
-	return "", fmt.Errorf("svc: unknown tier %q (want %q or %q)", v, TierEstimate, TierSimulate)
+	return "", fmt.Errorf("svc: unknown tier %q (want %q, %q, or %q)", v, TierAuto, TierEstimate, TierSimulate)
 }
 
 // estimateMemoCapacity bounds the estimate tier's own memo table. The

@@ -46,8 +46,18 @@ const StatusClientClosedRequest = 499
 //	                         breaker answers 503 + Retry-After.
 //	                         ?tier=estimate answers synchronously from
 //	                         the analytic roofline model (µs, no pool
-//	                         admission, no journal append); unknown
-//	                         tiers are 400 with a structured body.
+//	                         admission, no journal append); ?tier=auto
+//	                         lets the brownout controller pick — degraded
+//	                         answers carry Degraded:true and X-Degraded:
+//	                         brownout. ?priority=batch queues behind (and
+//	                         is shed before) interactive work. An
+//	                         X-Deadline-Budget header bounds the whole
+//	                         attempt: admission fails fast with 504 when
+//	                         the remaining budget cannot cover the
+//	                         predicted queue drain, and a queued job whose
+//	                         budget expires is dropped at pickup, never
+//	                         burning a worker slot. Bad parameter values
+//	                         are 400 with a structured ParamError body.
 //	GET  /v1/jobs            list tracked jobs
 //	GET  /v1/jobs/{id}       one job's status and result
 //	GET  /v1/jobs/{id}/trace the job's lifecycle trace (span events)
@@ -121,7 +131,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		status = he.status
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrTimeout):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrTimeout), errors.Is(err, ErrBudgetExhausted):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = StatusClientClosedRequest
@@ -134,15 +144,17 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // retryAfter estimates how long a shed client should back off: the
-// queue drained at the pool's recent executed-job p50 latency per
-// worker, floored at one second so the header is always actionable.
-// Two deliberate choices for the overload path this runs on: the p50
-// comes from the executed-job window (µs-scale cache hits must not
+// work queued ahead of its priority class drained at the pool's recent
+// executed-job p50 latency per worker, floored at one second so the
+// header is always actionable. Interactive clients wait only behind
+// the interactive queue (they jump batch); batch clients wait behind
+// both. Two deliberate choices for the overload path this runs on: the
+// p50 comes from the executed-job window (µs-scale cache hits must not
 // collapse the drain estimate exactly when the queue is full of real
 // simulator work), and it is a cached atomic read refreshed at most
 // once a second (never a copy-and-sort of the full window per shed
 // response).
-func (s *Service) retryAfter() time.Duration {
+func (s *Service) retryAfter(pr Priority) time.Duration {
 	p50 := s.Metrics().ExecP50().Seconds()
 	if p50 <= 0 {
 		p50 = 0.1
@@ -151,7 +163,11 @@ func (s *Service) retryAfter() time.Duration {
 	if workers < 1 {
 		workers = 1
 	}
-	est := time.Duration(float64(s.pool.QueueDepth()) * p50 / float64(workers) * float64(time.Second))
+	depth := s.pool.QueueDepthFor(PriorityInteractive)
+	if pr == PriorityBatch {
+		depth += s.pool.QueueDepthFor(PriorityBatch)
+	}
+	est := time.Duration(float64(depth) * p50 / float64(workers) * float64(time.Second))
 	if est < time.Second {
 		est = time.Second
 	}
@@ -176,10 +192,47 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpError{http.StatusBadRequest, "bad job spec: " + err.Error()})
 		return
 	}
-	reqTimeout, err := resilience.ParseTimeout(r.URL.Query().Get("timeout"), maxRequestTimeout)
+	timeoutParam := r.URL.Query().Get("timeout")
+	reqTimeout, err := resilience.ParseTimeout(timeoutParam, maxRequestTimeout)
 	if err != nil {
-		writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		// Structured like every other rejected parameter: the offending
+		// value and the accepted shape as machine-readable fields.
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "timeout",
+			Value:     timeoutParam,
+			Want:      []string{"a Go duration, e.g. 30s or 2m, at most " + maxRequestTimeout.String()},
+		})
 		return
+	}
+	prParam := r.URL.Query().Get("priority")
+	priority, err := ParsePriority(prParam)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "priority",
+			Value:     prParam,
+			Want:      []string{string(PriorityBatch), string(PriorityInteractive)},
+		})
+		return
+	}
+	// The deadline budget is what remains of the caller's end-to-end
+	// deadline — set by the gateway (decremented across reroutes) or the
+	// client directly. Absent, the wait timeout doubles as the budget:
+	// a client waiting 30s has no use for an answer admitted later.
+	budgetHdr := r.Header.Get("X-Deadline-Budget")
+	budget, err := resilience.ParseTimeout(budgetHdr, maxRequestTimeout)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "X-Deadline-Budget",
+			Value:     budgetHdr,
+			Want:      []string{"a Go duration, e.g. 5s or 500ms, at most " + maxRequestTimeout.String()},
+		})
+		return
+	}
+	if budget <= 0 {
+		budget = reqTimeout
 	}
 	tierParam := r.URL.Query().Get("tier")
 	tier, err := ParseTier(tierParam)
@@ -191,10 +244,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Error:     err.Error(),
 			Parameter: "tier",
 			Value:     tierParam,
-			Want:      []string{string(TierEstimate), string(TierSimulate)},
+			Want:      []string{string(TierAuto), string(TierEstimate), string(TierSimulate)},
 		})
 		return
 	}
+	// Resolve ?tier=auto exactly once, here: the brownout controller may
+	// flip at any instant, and a response assembled from two resolutions
+	// could mix a simulated status with an estimated result.
+	tier, degraded := s.ResolveTier(tier)
 	if tier == TierEstimate {
 		// The estimate tier is synchronous and microsecond-cheap: no pool
 		// admission, no journal append, no job registration — the answer
@@ -205,11 +262,23 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, httpError{http.StatusBadRequest, err.Error()})
 			return
 		}
+		if degraded {
+			// The client asked ?tier=auto for a simulation and got the
+			// analytic bound: flag it in the body and the header so no
+			// degraded answer is ever mistaken for a simulated one.
+			job.Degraded = true
+			w.Header().Set("X-Degraded", "brownout")
+			s.Metrics().brownoutServed()
+		}
 		writeJSON(w, http.StatusOK, job)
 		return
 	}
 
-	job, replayed, err := s.AdmitWithKey(r.Header.Get("Idempotency-Key"), spec)
+	job, replayed, err := s.AdmitWith(AdmitOptions{
+		IdemKey:  r.Header.Get("Idempotency-Key"),
+		Priority: priority,
+		Budget:   budget,
+	}, spec)
 	if replayed {
 		// The key (or, on a durable service, the spec hash) is already
 		// bound to a job — typically a client retrying after a crash or
@@ -219,8 +288,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			setRetryAfter(w, s.retryAfter())
+			setRetryAfter(w, s.retryAfter(priority))
 			writeError(w, httpError{http.StatusTooManyRequests, err.Error()})
+		case errors.Is(err, ErrBudgetExhausted):
+			// The remaining budget cannot cover the predicted queue drain:
+			// fail fast with the same status a slow timeout would have
+			// produced, plus a Retry-After so the client resubmits when
+			// the queue has drained rather than immediately.
+			setRetryAfter(w, s.retryAfter(priority))
+			writeError(w, httpError{http.StatusGatewayTimeout, err.Error()})
 		case errors.Is(err, resilience.ErrBreakerOpen):
 			ra := s.breakers.Get(spec.Machine).RetryAfter()
 			if ra <= 0 {
@@ -237,7 +313,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantWait(r) {
-		ctx, cancel := resilience.WithTimeout(r.Context(), reqTimeout)
+		waitFor := reqTimeout
+		if budget > 0 && (waitFor <= 0 || budget < waitFor) {
+			waitFor = budget
+		}
+		ctx, cancel := resilience.WithTimeout(r.Context(), waitFor)
 		defer cancel()
 		final, werr := s.Wait(ctx, job.ID)
 		if werr != nil {
@@ -406,6 +486,11 @@ type Health struct {
 	// Breakers maps machine name -> circuit state for every backend
 	// exercised so far.
 	Breakers map[string]resilience.BreakerState `json:"breakers,omitempty"`
+	// Brownout reports the ?tier=auto admission controller: whether it
+	// is currently serving degraded (estimate-tier) answers, and how
+	// often it has flipped. Informational — a browned-out service is
+	// still answering, so brownout alone does not degrade /healthz.
+	Brownout resilience.BrownoutStats `json:"brownout"`
 	// Faults reports fired fault-injection counts when chaos is armed.
 	Faults map[string]uint64 `json:"faults_fired,omitempty"`
 	// Journal reports the durability state when the service journals
@@ -436,6 +521,11 @@ func (s *Service) Healthz() Health {
 		Faults:     s.pool.Faults().Snapshot(),
 		Time:       time.Now().UTC().Format(time.RFC3339),
 	}
+	// Feed the brownout controller from the health probe too: a service
+	// receiving only ?tier=simulate traffic still keeps the controller's
+	// view (and the brownout gauge) current.
+	s.Metrics().setBrownoutActive(s.brownout.Observe(s.brownoutInputs()))
+	h.Brownout = s.brownout.Stats()
 	if s.journal != nil {
 		h.Journal = &JournalHealth{
 			Stats:        s.journal.Stats(),
@@ -482,6 +572,11 @@ type Readiness struct {
 	Ready    bool   `json:"ready"`
 	Draining bool   `json:"draining"`
 	Degraded bool   `json:"degraded"`
+	// Brownout is true while ?tier=auto requests are being answered
+	// from the estimate tier. A browned-out shard stays ready — it is
+	// answering, just at reduced fidelity — so gateways keep routing to
+	// it instead of concentrating load on the remaining shards.
+	Brownout bool   `json:"brownout,omitempty"`
 	Shard    string `json:"shard,omitempty"`
 	Reason   string `json:"reason,omitempty"`
 }
@@ -491,6 +586,7 @@ func (s *Service) Readiness() Readiness {
 	rd := Readiness{
 		Draining: s.Draining(),
 		Degraded: s.Healthz().Degraded,
+		Brownout: s.Metrics().BrownoutActive(),
 		Shard:    s.shardID,
 	}
 	switch {

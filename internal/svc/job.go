@@ -107,7 +107,17 @@ type Job struct {
 	// the pool-run bit-deterministic simulation, "estimate" for the
 	// synchronous analytic roofline bound. Jobs journaled before tiers
 	// existed replay with an empty Tier, which reads as simulate.
+	// ?tier=auto is resolved before the job exists, so "auto" never
+	// appears here.
 	Tier Tier `json:"tier,omitempty"`
+	// Priority is the admission class the job was submitted under
+	// (empty reads as interactive, the default).
+	Priority Priority `json:"priority,omitempty"`
+	// Degraded is true when this answer was served from the estimate
+	// tier because the brownout controller was engaged — the client
+	// asked ?tier=auto for a simulation and got the analytic bound
+	// instead. Responses also carry an X-Degraded: brownout header.
+	Degraded bool `json:"degraded,omitempty"`
 	// FromCache is true when the result was served from the memo table
 	// without running the simulator.
 	FromCache bool         `json:"from_cache,omitempty"`

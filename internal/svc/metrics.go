@@ -15,9 +15,10 @@ import (
 // rolling window of the most recent terminal jobs.
 const latencyWindow = 1024
 
-// execP50TTL bounds how stale the cached executed-job p50 served to
-// Retry-After may get before a reader recomputes it.
-const execP50TTL = time.Second
+// execQuantileTTL bounds how stale the cached executed-job p50/p99
+// served to Retry-After and the budget fast-reject may get before a
+// reader recomputes them.
+const execQuantileTTL = time.Second
 
 // latRing is a fixed-capacity ring of latency samples. Not
 // self-locking; Metrics guards both rings with one small mutex that is
@@ -64,10 +65,20 @@ type Metrics struct {
 	retries      atomic.Uint64
 	determinism  atomic.Uint64
 	shed         atomic.Uint64
+	shedBatch    atomic.Uint64
 	breakerDrops atomic.Uint64
 	journalErrs  atomic.Uint64
 	estimates    atomic.Uint64
 	modelDrift   atomic.Uint64
+	// Overload-robustness counters: admissions refused because the
+	// remaining deadline budget could not cover the drain estimate,
+	// queued tasks dropped at worker pickup because their budget ran
+	// out, estimate answers served because the brownout controller was
+	// engaged, and the controller's current verdict (gauge).
+	budgetDrops  atomic.Uint64
+	expiredDrops atomic.Uint64
+	brownoutJobs   atomic.Uint64
+	brownoutOn     atomic.Bool
 
 	// latMu guards the two rolling windows only. all holds every
 	// terminal job (cache hits included) and feeds the reported
@@ -79,11 +90,14 @@ type Metrics struct {
 	all   latRing
 	exec  latRing
 
-	// Cached executed-job p50, refreshed at most once per execP50TTL:
-	// Retry-After is computed precisely under overload, where sorting
-	// 1024 samples per shed response is the last thing the server needs.
+	// Cached executed-job p50/p99, refreshed together at most once per
+	// execQuantileTTL: Retry-After (p50) and the deadline-budget
+	// fast-reject (p99) are computed precisely under overload, where
+	// sorting 1024 samples per shed response is the last thing the
+	// server needs.
 	execP50Nanos atomic.Int64
-	execP50Stamp atomic.Int64 // unix nanos of the refresh that owns the value
+	execP99Nanos atomic.Int64
+	execQStamp   atomic.Int64 // unix nanos of the refresh that owns the values
 
 	// Labeled per-cell series, exposed in the Prometheus format.
 	reg            *obs.Registry
@@ -199,8 +213,33 @@ func (m *Metrics) determinismViolation(cell obs.Labels) {
 	m.vecDeterminism.With(cell).Inc()
 }
 
-// loadShed records an admission rejected because the queue was full.
-func (m *Metrics) loadShed() { m.shed.Add(1) }
+// loadShed records an admission rejected because its priority class's
+// queue was full (or, for batch, because interactive traffic had
+// claimed the remaining capacity).
+func (m *Metrics) loadShed(pr Priority) {
+	m.shed.Add(1)
+	if pr == PriorityBatch {
+		m.shedBatch.Add(1)
+	}
+}
+
+// budgetRejected records an admission refused because the remaining
+// deadline budget was below the drain estimate.
+func (m *Metrics) budgetRejected() { m.budgetDrops.Add(1) }
+
+// expiredDropped records a queued task dropped at worker pickup because
+// its deadline budget ran out while it waited.
+func (m *Metrics) expiredDropped() { m.expiredDrops.Add(1) }
+
+// brownoutServed records one degraded (estimate-tier) answer served
+// because the brownout controller was engaged.
+func (m *Metrics) brownoutServed() { m.brownoutJobs.Add(1) }
+
+// setBrownoutActive publishes the controller's verdict as a gauge.
+func (m *Metrics) setBrownoutActive(v bool) { m.brownoutOn.Store(v) }
+
+// BrownoutActive returns the last published brownout verdict.
+func (m *Metrics) BrownoutActive() bool { return m.brownoutOn.Load() }
 
 // breakerRejected records an admission rejected by an open breaker.
 func (m *Metrics) breakerRejected() { m.breakerDrops.Add(1) }
@@ -241,27 +280,42 @@ func (m *Metrics) JournalAppendErrors() uint64 { return m.journalErrs.Load() }
 // computation uses on every shed response, instead of copying and
 // sorting the full window under load.
 func (m *Metrics) ExecP50() time.Duration {
+	m.refreshExecQuantiles()
+	return time.Duration(m.execP50Nanos.Load())
+}
+
+// ExecP99 returns the rolling executed-job p99 latency from the same
+// cached refresh as ExecP50 — the drain-estimate input for the
+// deadline-budget fast-reject and the brownout controller.
+func (m *Metrics) ExecP99() time.Duration {
+	m.refreshExecQuantiles()
+	return time.Duration(m.execP99Nanos.Load())
+}
+
+// refreshExecQuantiles recomputes the cached executed-job p50/p99 when
+// the TTL has lapsed. One refresher wins the CAS; everyone else serves
+// the (at worst one-TTL-stale) cached values without touching the
+// window.
+func (m *Metrics) refreshExecQuantiles() {
 	now := time.Now().UnixNano()
-	stamp := m.execP50Stamp.Load()
-	if stamp != 0 && now-stamp < int64(execP50TTL) {
-		return time.Duration(m.execP50Nanos.Load())
+	stamp := m.execQStamp.Load()
+	if stamp != 0 && now-stamp < int64(execQuantileTTL) {
+		return
 	}
-	// One refresher wins the CAS; everyone else serves the (at worst
-	// one-TTL-stale) cached value without touching the window.
-	if !m.execP50Stamp.CompareAndSwap(stamp, now) {
-		return time.Duration(m.execP50Nanos.Load())
+	if !m.execQStamp.CompareAndSwap(stamp, now) {
+		return
 	}
 	m.latMu.Lock()
 	window := m.exec.sortedCopy()
 	m.latMu.Unlock()
-	p50 := quantile(window, 0.50)
-	m.execP50Nanos.Store(int64(p50))
-	return p50
+	m.execP50Nanos.Store(int64(quantile(window, 0.50)))
+	m.execP99Nanos.Store(int64(quantile(window, 0.99)))
 }
 
-// invalidateExecP50 forces the next ExecP50 call to recompute — test
-// hook, so refresh behavior is observable without sleeping out the TTL.
-func (m *Metrics) invalidateExecP50() { m.execP50Stamp.Store(0) }
+// invalidateExecQuantiles forces the next ExecP50/ExecP99 call to
+// recompute — test hook, so refresh behavior is observable without
+// sleeping out the TTL.
+func (m *Metrics) invalidateExecQuantiles() { m.execQStamp.Store(0) }
 
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
@@ -282,10 +336,25 @@ type Snapshot struct {
 	// counts guard trips (results disagreeing with the memoized spec
 	// hash); Shed and BreakerRejected count admissions refused by the
 	// full queue and by open circuit breakers.
-	Retries         uint64 `json:"retries"`
-	Determinism     uint64 `json:"determinism_violations"`
+	Retries     uint64 `json:"retries"`
+	Determinism uint64 `json:"determinism_violations"`
+	// Shed counts every refused admission; ShedBatch the batch-class
+	// subset (saturation sheds batch first, so under mixed overload
+	// ShedBatch should dominate).
 	Shed            uint64 `json:"jobs_shed"`
+	ShedBatch       uint64 `json:"jobs_shed_batch"`
 	BreakerRejected uint64 `json:"breaker_rejected"`
+	// BudgetRejected counts admissions refused because the remaining
+	// deadline budget was below the drain estimate; ExpiredDropped
+	// counts queued jobs dropped at worker pickup after their budget
+	// ran out (neither ever occupied a worker slot).
+	BudgetRejected uint64 `json:"budget_rejected"`
+	ExpiredDropped uint64 `json:"expired_jobs_dropped"`
+	// BrownoutServed counts degraded estimate answers served while the
+	// ?tier=auto controller was engaged; BrownoutActive is its current
+	// verdict.
+	BrownoutServed uint64 `json:"brownout_served"`
+	BrownoutActive bool   `json:"brownout_active"`
 	// JournalAppendErrors counts job lifecycle transitions the
 	// durability journal failed to persist (disk trouble; the health
 	// endpoint degrades while it is non-zero).
@@ -331,7 +400,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Retries:         m.retries.Load(),
 		Determinism:     m.determinism.Load(),
 		Shed:            m.shed.Load(),
+		ShedBatch:       m.shedBatch.Load(),
 		BreakerRejected: m.breakerDrops.Load(),
+		BudgetRejected:  m.budgetDrops.Load(),
+		ExpiredDropped:  m.expiredDrops.Load(),
+		BrownoutServed:  m.brownoutJobs.Load(),
+		BrownoutActive:  m.brownoutOn.Load(),
 
 		JournalAppendErrors: m.journalErrs.Load(),
 
@@ -398,7 +472,12 @@ func (s Snapshot) describe() []metricDesc {
 		{"simserved_retries_total", "counter", "Transient-failure re-executions.", fmt.Sprintf("%d", s.Retries)},
 		{"simserved_determinism_violations_total", "counter", "Determinism-guard trips.", fmt.Sprintf("%d", s.Determinism)},
 		{"simserved_jobs_shed_total", "counter", "Admissions refused because the queue was full.", fmt.Sprintf("%d", s.Shed)},
+		{"simserved_jobs_shed_batch_total", "counter", "Batch-priority admissions shed (saturation sheds batch first).", fmt.Sprintf("%d", s.ShedBatch)},
 		{"simserved_breaker_rejected_total", "counter", "Admissions refused by an open circuit breaker.", fmt.Sprintf("%d", s.BreakerRejected)},
+		{"simserved_budget_rejected_total", "counter", "Admissions refused because the remaining deadline budget was below the drain estimate.", fmt.Sprintf("%d", s.BudgetRejected)},
+		{"simserved_expired_jobs_dropped_total", "counter", "Queued jobs dropped at worker pickup after their deadline budget ran out.", fmt.Sprintf("%d", s.ExpiredDropped)},
+		{"simserved_brownout_served_total", "counter", "Degraded estimate-tier answers served while browned out.", fmt.Sprintf("%d", s.BrownoutServed)},
+		{"simserved_brownout_active", "gauge", "Whether the ?tier=auto brownout controller is engaged (1) or not (0).", boolToMetric(s.BrownoutActive)},
 		{"simserved_journal_append_errors_total", "counter", "Lifecycle transitions the durability journal failed to persist.", fmt.Sprintf("%d", s.JournalAppendErrors)},
 		{"simserved_estimates_served_total", "counter", "Estimate-tier jobs answered from the analytic roofline model.", fmt.Sprintf("%d", s.Estimates)},
 		{"simserved_model_drift_alerts_total", "counter", "Simulated results outside the analytic model's error envelope.", fmt.Sprintf("%d", s.ModelDrift)},
@@ -409,6 +488,13 @@ func (s Snapshot) describe() []metricDesc {
 		{"simserved_exec_latency_p99_seconds", "gauge", "p99 latency over executed jobs only.", fmt.Sprintf("%.6f", s.ExecP99Seconds)},
 		{"simserved_exec_latency_samples", "gauge", "Samples in the executed-job window.", fmt.Sprintf("%d", s.ExecSamples)},
 	}
+}
+
+func boolToMetric(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
 }
 
 // WriteText renders the snapshot in the flat `name value` text format
@@ -427,13 +513,29 @@ func (s Snapshot) WriteText(w io.Writer) error {
 // Prometheus text exposition format (HELP/TYPE comments, escaped
 // labels, histogram buckets).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
-	for _, d := range m.Snapshot().describe() {
+	s := m.Snapshot()
+	for _, d := range s.describe() {
 		if err := obs.WritePromHeader(w, d.name, d.help, d.typ); err != nil {
 			return err
 		}
 		if err := obs.WritePromSample(w, d.name, obs.Labels{}, "", "", d.value); err != nil {
 			return err
 		}
+	}
+	// Priority-labeled shed: one family, one series per admission class,
+	// so a dashboard can show "who is being refused" directly.
+	const shedByPriority = "simserved_jobs_shed_by_priority_total"
+	if err := obs.WritePromHeader(w, shedByPriority,
+		"Admissions refused under saturation, per priority class.", "counter"); err != nil {
+		return err
+	}
+	if err := obs.WritePromSampleKV(w, shedByPriority,
+		fmt.Sprintf("%d", s.Shed-s.ShedBatch), "priority", string(PriorityInteractive)); err != nil {
+		return err
+	}
+	if err := obs.WritePromSampleKV(w, shedByPriority,
+		fmt.Sprintf("%d", s.ShedBatch), "priority", string(PriorityBatch)); err != nil {
+		return err
 	}
 	return m.reg.WritePrometheus(w)
 }

@@ -71,7 +71,7 @@ func TestExecWindowExcludesCacheHits(t *testing.T) {
 	if snap.ExecSamples != 10 || snap.Samples != 510 {
 		t.Fatalf("samples: exec=%d all=%d", snap.ExecSamples, snap.Samples)
 	}
-	m.invalidateExecP50()
+	m.invalidateExecQuantiles()
 	if p50 := m.ExecP50(); p50 < 1900*time.Millisecond || p50 > 2100*time.Millisecond {
 		t.Fatalf("ExecP50() = %v, want ~2s", p50)
 	}
@@ -91,10 +91,10 @@ func TestRetryAfterSurvivesCacheHitFlood(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		m.jobFinished(obs.Labels{}, false, true, false, false, 2*time.Microsecond)
 	}
-	m.invalidateExecP50()
+	m.invalidateExecQuantiles()
 	// With an empty queue the floor is 1s either way; what must hold is
 	// the p50 behind the estimate.
-	if ra := s.retryAfter(); ra < time.Second {
+	if ra := s.retryAfter(PriorityInteractive); ra < time.Second {
 		t.Fatalf("retryAfter = %v, floor is 1s", ra)
 	}
 	if p50 := m.ExecP50(); p50 < 2900*time.Millisecond {
@@ -120,7 +120,7 @@ func TestExecP50Cached(t *testing.T) {
 	if got := m.ExecP50(); got != first {
 		t.Fatalf("ExecP50 inside TTL = %v, want cached %v", got, first)
 	}
-	m.invalidateExecP50()
+	m.invalidateExecQuantiles()
 	if got := m.ExecP50(); got != 30*time.Second {
 		t.Fatalf("ExecP50 after invalidation = %v, want 30s", got)
 	}
@@ -147,7 +147,7 @@ func TestMetricsConcurrentSnapshot(t *testing.T) {
 				m.jobCoalesced(cell)
 				m.jobRetried(cell, 1)
 				m.cyclesRun(10)
-				m.loadShed()
+				m.loadShed(PriorityInteractive)
 			}
 		}()
 	}
@@ -165,7 +165,7 @@ func TestMetricsConcurrentSnapshot(t *testing.T) {
 				return
 			}
 			_ = m.ExecP50()
-			m.invalidateExecP50()
+			m.invalidateExecQuantiles()
 		}
 	}()
 	wg.Wait()

@@ -27,6 +27,13 @@ var ErrTimeout = errors.New("svc: job timed out")
 // into 429 + Retry-After.
 var ErrOverloaded = errors.New("svc: overloaded, job shed")
 
+// ErrBudgetExhausted marks work refused — or dropped at worker pickup —
+// because the request's remaining deadline budget cannot cover it: the
+// client's deadline would expire before the answer could exist, so
+// running the job would burn a worker slot for a response nobody is
+// waiting for. The HTTP layer serves it as 504 + Retry-After.
+var ErrBudgetExhausted = errors.New("svc: deadline budget exhausted")
+
 // ErrDeterminism marks the determinism guard tripping: a simulation
 // result disagreed with the memoized result for the same spec hash.
 // The simulators are bit-exact, so this is always corruption (an
@@ -65,6 +72,17 @@ type Task struct {
 	// attempt number about to run and the error that caused the retry.
 	// Called from the worker goroutine; must be safe for that.
 	OnRetry func(attempt int, err error)
+	// Priority selects the admission queue. The zero value is
+	// PriorityInteractive: interactive tasks drain first and shed last;
+	// batch tasks (PriorityBatch) wait in a second queue that workers
+	// only service when no interactive work is pending, and are the
+	// first shed under saturation.
+	Priority Priority
+	// Expires, when non-zero, is the task's deadline-budget expiry: a
+	// task still queued past it is failed with ErrBudgetExhausted at
+	// worker pickup instead of occupying a slot, and a running task's
+	// context deadline is clamped to it.
+	Expires time.Time
 	Run     func(ctx context.Context) (core.Result, error)
 }
 
@@ -131,8 +149,13 @@ type PoolOptions struct {
 // timeouts, panic isolation, transient-error retry, and optional result
 // memoization guarded for determinism. It is safe for concurrent use.
 type Pool struct {
-	opts    PoolOptions
+	opts PoolOptions
+	// tasks is the interactive admission queue; batch is the second
+	// level, serviced only when tasks is empty and shed first under
+	// saturation. Each has QueueDepth capacity of its own so a batch
+	// backlog can never crowd interactive work out of the queue.
 	tasks   chan poolItem
+	batch   chan poolItem
 	memo    *cache.Memo[core.Result]
 	metrics *Metrics
 	faults  *faults.Registry
@@ -180,6 +203,7 @@ func NewPool(opts PoolOptions) *Pool {
 	p := &Pool{
 		opts:     opts,
 		tasks:    make(chan poolItem, opts.QueueDepth),
+		batch:    make(chan poolItem, opts.QueueDepth),
 		metrics:  opts.Metrics,
 		faults:   opts.Faults,
 		inflight: make(map[string]*Future),
@@ -215,11 +239,37 @@ func (p *Pool) Workers() int { return p.opts.Workers }
 // Metrics returns the pool's registry.
 func (p *Pool) Metrics() *Metrics { return p.metrics }
 
-// QueueDepth returns the number of tasks waiting for a worker.
-func (p *Pool) QueueDepth() int { return len(p.tasks) }
+// QueueDepth returns the number of tasks waiting for a worker across
+// both priority queues.
+func (p *Pool) QueueDepth() int { return len(p.tasks) + len(p.batch) }
 
-// QueueCap returns the queue's capacity (the shed threshold).
+// QueueDepthFor returns the number of tasks waiting in one priority
+// class's queue.
+func (p *Pool) QueueDepthFor(pr Priority) int {
+	if pr == PriorityBatch {
+		return len(p.batch)
+	}
+	return len(p.tasks)
+}
+
+// QueueCap returns the interactive queue's capacity — the shed
+// threshold for interactive admissions (the batch queue has the same
+// capacity of its own).
 func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// JobTimeout returns the per-job execution deadline.
+func (p *Pool) JobTimeout() time.Duration { return p.opts.JobTimeout }
+
+// MemoHas reports whether key has a memoized result — the budget
+// fast-reject probe: a memo hit is served in microseconds, so a
+// near-spent budget still covers it.
+func (p *Pool) MemoHas(key string) bool {
+	if p.memo == nil || key == "" {
+		return false
+	}
+	_, ok := p.memo.Peek(key)
+	return ok
+}
 
 // Faults returns the fault-injection registry the pool consults (nil
 // when chaos is off).
@@ -322,30 +372,45 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		p.inflightMu.Unlock()
 	}
 
+	queue := p.tasks
+	if t.Priority == PriorityBatch {
+		queue = p.batch
+	}
 	if block {
 		p.metrics.jobQueued()
 		// May block when the queue is full (backpressure); workers keep
 		// draining because Close cannot cancel them until this send's read
 		// lock is released.
-		p.tasks <- poolItem{task: t, fut: fut}
+		queue <- poolItem{task: t, fut: fut}
 		return fut, nil
 	}
+	// Saturation sheds batch first: once the interactive queue is three
+	// quarters full the remaining capacity belongs to interactive
+	// traffic, so a batch admission is refused even though its own
+	// queue still has room.
+	if t.Priority == PriorityBatch && len(p.tasks)*4 >= cap(p.tasks)*3 {
+		return p.shedTask(t, fut)
+	}
 	select {
-	case p.tasks <- poolItem{task: t, fut: fut}:
+	case queue <- poolItem{task: t, fut: fut}:
 		p.metrics.jobQueued()
 		return fut, nil
 	default:
-		// Shed: the registered flight will never execute, so fail its
-		// future too — a duplicate submission may have attached to it in
-		// the window since registration, and it must see the shed rather
-		// than wait forever.
-		p.removeFlight(t.MemoKey, fut)
-		fut.err = fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
-		close(fut.started)
-		close(fut.done)
-		p.metrics.loadShed()
-		return nil, fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
+		return p.shedTask(t, fut)
 	}
+}
+
+// shedTask refuses one non-blocking admission with ErrOverloaded. The
+// registered flight will never execute, so its future is failed too — a
+// duplicate submission may have attached to it in the window since
+// registration, and it must see the shed rather than wait forever.
+func (p *Pool) shedTask(t Task, fut *Future) (*Future, error) {
+	p.removeFlight(t.MemoKey, fut)
+	fut.err = fmt.Errorf("svc: job %q: %w", t.Label, ErrOverloaded)
+	close(fut.started)
+	close(fut.done)
+	p.metrics.loadShed(t.Priority)
+	return nil, fut.err
 }
 
 // removeFlight unregisters fut as the in-flight execution for key, if
@@ -374,16 +439,19 @@ func (p *Pool) Close() {
 	p.submitMu.Unlock()
 	p.cancel()
 	p.wg.Wait()
-	for {
-		select {
-		case item := <-p.tasks:
-			item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
-			p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
-			p.removeFlight(item.task.MemoKey, item.fut)
-			close(item.fut.started)
-			close(item.fut.done)
-		default:
-			return
+	for _, queue := range []chan poolItem{p.tasks, p.batch} {
+	drain:
+		for {
+			select {
+			case item := <-queue:
+				item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, ErrPoolClosed)
+				p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
+				p.removeFlight(item.task.MemoKey, item.fut)
+				close(item.fut.started)
+				close(item.fut.done)
+			default:
+				break drain
+			}
 		}
 	}
 }
@@ -391,8 +459,20 @@ func (p *Pool) Close() {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
+		// Strict priority: drain every pending interactive task before
+		// even looking at the batch queue.
 		select {
 		case item := <-p.tasks:
+			p.execute(item)
+			continue
+		case <-p.ctx.Done():
+			return
+		default:
+		}
+		select {
+		case item := <-p.tasks:
+			p.execute(item)
+		case item := <-p.batch:
 			p.execute(item)
 		case <-p.ctx.Done():
 			return
@@ -414,10 +494,32 @@ func (e *panicError) Error() string {
 // retry, and the determinism guard over the memo table.
 func (p *Pool) execute(item poolItem) {
 	start := time.Now()
+	// A task whose deadline budget ran out while it waited is dropped
+	// at pickup: the client's deadline has already passed, so running
+	// the simulator would burn a worker slot on an answer nobody is
+	// waiting for — exactly what the budget exists to prevent.
+	if !item.task.Expires.IsZero() && start.After(item.task.Expires) {
+		p.metrics.expiredDropped()
+		p.removeFlight(item.task.MemoKey, item.fut)
+		item.fut.err = fmt.Errorf("svc: job %q: expired in queue: %w", item.task.Label, ErrBudgetExhausted)
+		p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
+		close(item.fut.started)
+		close(item.fut.done)
+		return
+	}
 	close(item.fut.started)
 	p.metrics.jobStarted()
 
-	ctx, cancel := context.WithTimeout(p.ctx, p.opts.JobTimeout)
+	timeout := p.opts.JobTimeout
+	if !item.task.Expires.IsZero() {
+		// Clamp the running deadline to the remaining budget: when it
+		// expires mid-run the uninterruptible simulator is abandoned
+		// (ErrTimeout) and the slot freed, same as a per-job timeout.
+		if until := time.Until(item.task.Expires); until < timeout {
+			timeout = until
+		}
+	}
+	ctx, cancel := context.WithTimeout(p.ctx, timeout)
 	defer cancel()
 
 	var res core.Result

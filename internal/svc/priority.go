@@ -1,0 +1,28 @@
+package svc
+
+import "fmt"
+
+// Priority is a job's admission class. Interactive work — a user
+// waiting on a response — drains first and sheds last; batch work
+// (sweeps, studies) fills the spare capacity and is the first thing
+// refused when the service saturates.
+type Priority string
+
+// The two admission classes of POST /v1/jobs?priority=.
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBatch       Priority = "batch"
+)
+
+// ParsePriority maps the ?priority= query value onto a Priority. Empty
+// means interactive, the pre-priority behavior: an unannotated client
+// is assumed to be a user waiting.
+func ParsePriority(v string) (Priority, error) {
+	switch Priority(v) {
+	case "", PriorityInteractive:
+		return PriorityInteractive, nil
+	case PriorityBatch:
+		return PriorityBatch, nil
+	}
+	return "", fmt.Errorf("svc: unknown priority %q (want %q or %q)", v, PriorityBatch, PriorityInteractive)
+}

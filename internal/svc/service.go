@@ -40,6 +40,13 @@ type Options struct {
 	// zero value uses resilience defaults (5 consecutive failures trip
 	// a 5s open interval).
 	Breaker resilience.BreakerConfig
+	// Brownout configures the ?tier=auto hysteresis controller. Zero
+	// fields take the resilience defaults, except the latency signal:
+	// EnterExecP99 defaults to half the pool's per-job timeout (and
+	// ExitExecP99 to half of that), so a service whose executed p99
+	// approaches its own deadline starts degrading before it starts
+	// timing out.
+	Brownout resilience.BrownoutConfig
 	// Logger receives structured request logs from the HTTP layer
 	// (method, path, status, duration, request ID). nil disables
 	// access logging; request-ID propagation stays on either way.
@@ -69,6 +76,9 @@ type Service struct {
 	// table from the pool's simulated-result memo, so the two tiers can
 	// never serve each other's numbers for the same spec hash.
 	estimates *cache.Memo[roofline.Estimate]
+	// brownout decides, per ?tier=auto request, whether to degrade to
+	// the estimate tier (see ResolveTier).
+	brownout *resilience.Brownout
 	// shardID/idPrefix carry the cluster identity (Options.ShardID);
 	// empty on a single-node service.
 	shardID  string
@@ -110,8 +120,16 @@ func NewService(opts Options) *Service {
 	if opts.ShardID != "" {
 		prefix = opts.ShardID + "-"
 	}
+	pool := NewPool(opts.Pool)
+	bc := opts.Brownout
+	if bc.EnterExecP99 <= 0 {
+		bc.EnterExecP99 = pool.JobTimeout() / 2
+	}
+	if bc.ExitExecP99 <= 0 {
+		bc.ExitExecP99 = bc.EnterExecP99 / 2
+	}
 	return &Service{
-		pool:      NewPool(opts.Pool),
+		pool:      pool,
 		factory:   machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
 		maxJobs:   opts.MaxJobs,
 		breakers:  resilience.NewBreakerSet(opts.Breaker),
@@ -119,6 +137,7 @@ func NewService(opts Options) *Service {
 		shardID:   opts.ShardID,
 		idPrefix:  prefix,
 		estimates: newEstimateMemo(),
+		brownout:  resilience.NewBrownout(bc),
 		jobs:      make(map[string]*Job),
 		evicted:   make(map[string]bool),
 		idem:      make(map[string]string),
@@ -166,7 +185,7 @@ func (s *Service) Close() {
 // Submit blocks for a queue slot when the pool is saturated
 // (backpressure); batch drivers want that.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
-	j, _, err := s.submit("", spec, true)
+	j, _, err := s.submit(AdmitOptions{}, spec, true)
 	return j, err
 }
 
@@ -176,7 +195,7 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 // breaker is open it is refused with resilience.ErrBreakerOpen (503).
 // The serving layer uses Admit so saturation never queues unboundedly.
 func (s *Service) Admit(spec JobSpec) (Job, error) {
-	j, _, err := s.submit("", spec, false)
+	j, _, err := s.submit(AdmitOptions{}, spec, false)
 	return j, err
 }
 
@@ -189,10 +208,35 @@ func (s *Service) Admit(spec JobSpec) (Job, error) {
 // journal an empty key means no deduplication, preserving the
 // one-job-per-submit behavior batch drivers rely on.
 func (s *Service) AdmitWithKey(key string, spec JobSpec) (job Job, replayed bool, err error) {
-	return s.submit(key, spec, false)
+	return s.submit(AdmitOptions{IdemKey: key}, spec, false)
 }
 
-func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, error) {
+// AdmitOptions carries the per-request admission qualifiers of
+// AdmitWith. The zero value is AdmitWithKey's behavior: no key,
+// interactive priority, no deadline budget.
+type AdmitOptions struct {
+	// IdemKey deduplicates resubmissions (see AdmitWithKey).
+	IdemKey string
+	// Priority selects the admission class; empty means interactive.
+	Priority Priority
+	// Budget, when positive, is the client's remaining deadline budget:
+	// the admission is refused fast with ErrBudgetExhausted when the
+	// executed-job drain estimate says the job could not finish inside
+	// it, and an admitted job that outlives the budget in the queue is
+	// dropped at worker pickup instead of occupying a slot. Memo hits
+	// and idempotent replays are exempt — they answer in microseconds
+	// regardless of pool pressure.
+	Budget time.Duration
+}
+
+// AdmitWith is AdmitWithKey plus priority class and deadline budget —
+// the full admission-control entry point the HTTP layer uses.
+func (s *Service) AdmitWith(opts AdmitOptions, spec JobSpec) (job Job, replayed bool, err error) {
+	return s.submit(opts, spec, false)
+}
+
+func (s *Service) submit(opts AdmitOptions, spec JobSpec, block bool) (Job, bool, error) {
+	idemKey := opts.IdemKey
 	norm, err := spec.Normalize()
 	if err != nil {
 		return Job{}, false, err
@@ -204,6 +248,19 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 	key := idemKey
 	if key == "" && s.journal != nil {
 		key = hash
+	}
+
+	// Deadline-budget fast-reject: when the remaining budget cannot
+	// cover the executed-job drain estimate, refuse now (504 upstairs)
+	// instead of queueing work that is doomed to expire. Memo hits and
+	// idempotent replays are exempt — they answer in microseconds no
+	// matter how deep the queue is.
+	if !block && opts.Budget > 0 && !s.pool.MemoHas(hash) && !s.idemLive(key) {
+		if est := s.drainEstimate(opts.Priority); est > opts.Budget {
+			s.pool.Metrics().budgetRejected()
+			return Job{}, false, fmt.Errorf("svc: %s/%s: remaining budget %s below drain estimate %s: %w",
+				norm.Machine, norm.Kernel, opts.Budget, est, ErrBudgetExhausted)
+		}
 	}
 
 	breaker := s.breakers.Get(norm.Machine)
@@ -238,6 +295,7 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 		IdemKey:   key,
 		State:     Queued,
 		Tier:      TierSimulate,
+		Priority:  opts.Priority,
 		Submitted: time.Now(),
 	}
 	// One backing array sized for the common accepted→queued→started→done
@@ -271,9 +329,10 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 	s.mu.Unlock()
 
 	task := Task{
-		Label:   fmt.Sprintf("%s/%s", norm.Machine, norm.Kernel),
-		MemoKey: hash,
-		Cell:    obs.Labels{Machine: norm.Machine, Kernel: string(norm.Kernel)},
+		Label:    fmt.Sprintf("%s/%s", norm.Machine, norm.Kernel),
+		MemoKey:  hash,
+		Cell:     obs.Labels{Machine: norm.Machine, Kernel: string(norm.Kernel)},
+		Priority: opts.Priority,
 		OnRetry: func(attempt int, err error) {
 			s.traceEvent(job.ID, obs.EventRetried, fmt.Sprintf("attempt %d: %v", attempt, err))
 		},
@@ -281,6 +340,9 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 			s.markRunning(job.ID)
 			return runSpec(s.factory, norm)
 		},
+	}
+	if opts.Budget > 0 {
+		task.Expires = time.Now().Add(opts.Budget)
 	}
 	var fut *Future
 	if block {
@@ -308,8 +370,10 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 		if !block {
 			// Pair the Allow above with exactly one outcome report: a
 			// memo hit never exercised the backend, so its slot is
-			// released without evidence; everything else is an outcome.
-			if fut.FromCache() {
+			// released without evidence — and so is a job dropped in
+			// the queue because its deadline budget ran out, which
+			// says nothing about the machine backend's health.
+			if fut.FromCache() || errors.Is(werr, ErrBudgetExhausted) {
 				breaker.Cancel()
 			} else {
 				breaker.Record(werr == nil)
@@ -324,6 +388,90 @@ func (s *Service) submit(idemKey string, spec JobSpec, block bool) (Job, bool, e
 	}()
 	return s.snapshot(job.ID), false, nil
 }
+
+// idemLive reports whether key is bound to a live job — an admission
+// that would be answered by idempotent replay, instantly, regardless of
+// pool pressure.
+func (s *Service) idemLive(key string) bool {
+	if key == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.idem[key]
+	if !ok {
+		return false
+	}
+	_, live := s.jobs[id]
+	return live
+}
+
+// drainEstimate predicts how long a newly admitted job of the given
+// priority waits before finishing: the jobs queued ahead of it drained
+// in worker-wide waves, each wave costing the rolling executed-job p99
+// (the pessimistic end of the dual-window latency split — a budget
+// check that used the p50 would admit half its jobs into expiry).
+// Batch waits behind both queues (strict priority); interactive only
+// behind its own. A cold window (p99 == 0) estimates zero, so a fresh
+// service never rejects on budget.
+func (s *Service) drainEstimate(pr Priority) time.Duration {
+	p99 := s.Metrics().ExecP99()
+	if p99 <= 0 {
+		return 0
+	}
+	depth := s.pool.QueueDepthFor(PriorityInteractive)
+	if pr == PriorityBatch {
+		depth += s.pool.QueueDepthFor(PriorityBatch)
+	}
+	workers := s.pool.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	waves := depth/workers + 1
+	return time.Duration(waves) * p99
+}
+
+// brownoutInputs assembles the controller's pressure reading: the
+// interactive queue's occupancy (batch backlog must not brown the
+// service out — interactive work jumps ahead of it anyway), the
+// executed-job p99, and the number of non-closed machine breakers.
+func (s *Service) brownoutInputs() resilience.BrownoutInputs {
+	open := 0
+	for _, st := range s.breakers.States() {
+		if st != resilience.Closed {
+			open++
+		}
+	}
+	return resilience.BrownoutInputs{
+		QueueDepth:   s.pool.QueueDepthFor(PriorityInteractive),
+		QueueCap:     s.pool.QueueCap(),
+		ExecP99:      s.Metrics().ExecP99(),
+		BreakersOpen: open,
+	}
+}
+
+// ResolveTier resolves a parsed tier exactly once per request:
+// explicit tiers pass through untouched; TierAuto consults the
+// brownout controller and comes back as either TierSimulate (healthy)
+// or TierEstimate with degraded = true (browned out). Callers must
+// hold onto the returned tier for the rest of the request — never
+// re-resolve — so a controller flip mid-request cannot mix tiers
+// within one response.
+func (s *Service) ResolveTier(t Tier) (tier Tier, degraded bool) {
+	if t != TierAuto {
+		return t, false
+	}
+	active := s.brownout.Observe(s.brownoutInputs())
+	s.Metrics().setBrownoutActive(active)
+	if active {
+		return TierEstimate, true
+	}
+	return TierSimulate, false
+}
+
+// BrownoutStats exposes the ?tier=auto controller's state (health
+// endpoints and tests).
+func (s *Service) BrownoutStats() resilience.BrownoutStats { return s.brownout.Stats() }
 
 // drop removes an unstarted job that was shed at admission, telling
 // the journal to forget it too (the client was told 429, so replaying
@@ -615,8 +763,22 @@ func machineNames() []string { return machines.Names() }
 // RunStudyParallel executes every (machine, kernel) pair of the
 // workload through the pool — the concurrent counterpart of
 // core.RunStudy. Each job runs on a fresh machine instance from
-// factory, so results are bit-identical to the serial study.
+// factory, so results are bit-identical to the serial study. Cells are
+// admitted at interactive priority (the default): callers like the
+// HTTP table endpoints sit on the request path.
 func RunStudyParallel(ctx context.Context, p *Pool, factory MachineFactory, names []string, w core.Workload) (*core.StudyResults, error) {
+	return runStudy(ctx, p, factory, names, w, PriorityInteractive)
+}
+
+// RunStudyBatch is RunStudyParallel at batch priority: cells queue
+// behind (and are shed before) interactive work. The offline drivers —
+// cmd/sigstudy, cmd/sweep — use this so a study fan-out sharing a pool
+// with a live service never starves request traffic.
+func RunStudyBatch(ctx context.Context, p *Pool, factory MachineFactory, names []string, w core.Workload) (*core.StudyResults, error) {
+	return runStudy(ctx, p, factory, names, w, PriorityBatch)
+}
+
+func runStudy(ctx context.Context, p *Pool, factory MachineFactory, names []string, w core.Workload, pr Priority) (*core.StudyResults, error) {
 	if factory == nil {
 		factory = machines.ByName
 	}
@@ -659,8 +821,9 @@ func RunStudyParallel(ctx context.Context, p *Pool, factory MachineFactory, name
 				key = h
 			}
 			fut, err := p.Submit(Task{
-				Label:   fmt.Sprintf("%s/%s", name, k),
-				MemoKey: key,
+				Label:    fmt.Sprintf("%s/%s", name, k),
+				MemoKey:  key,
+				Priority: pr,
 				Run: func(context.Context) (core.Result, error) {
 					return runSpec(factory, spec)
 				},

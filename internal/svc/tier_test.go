@@ -57,7 +57,7 @@ func TestHTTPTierValidation(t *testing.T) {
 	if pe.Parameter != "tier" || pe.Value != "premium" {
 		t.Fatalf("error body identifies %q=%q, want tier=premium", pe.Parameter, pe.Value)
 	}
-	if len(pe.Want) != 2 || pe.Want[0] != "estimate" || pe.Want[1] != "simulate" {
+	if len(pe.Want) != 3 || pe.Want[0] != "auto" || pe.Want[1] != "estimate" || pe.Want[2] != "simulate" {
 		t.Fatalf("error body offers %v", pe.Want)
 	}
 	if !strings.Contains(pe.Error, "premium") {

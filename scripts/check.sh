@@ -20,6 +20,15 @@ else
     echo "== staticcheck: not installed, skipping (CI runs it)"
 fi
 
+# govulncheck is gated the same way: run it when the binary is present,
+# skip (loudly) when it is not, so air-gapped machines still pass.
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck ./..."
+    govulncheck ./...
+else
+    echo "== govulncheck: not installed, skipping (CI runs it)"
+fi
+
 echo "== go test -race ./..."
 go test -race ./...
 
