@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos soak cluster-soak overload-soak bench bench-smoke bench-json benchdiff clean
+.PHONY: all build vet test race check chaos soak cluster-soak batch-soak overload-soak bench bench-smoke bench-json benchdiff clean
 
 # soak sweeps the durability and chaos suites under the race detector
 # across a fixed seed matrix: journal frame/replay tests, svc crash and
@@ -62,6 +62,21 @@ cluster-soak:
 			-run 'ClusterSoak|Gateway' ./cmd/simgate/... ./internal/cluster/...; \
 	done
 
+# batch-soak is the grid-fast-path acceptance run: a full machine x
+# kernel grid through POST /v1/batch on a real 4-process cluster, one
+# shard SIGKILLed while the batch stream is open, restarted on its own
+# journal, and the re-driven grid gated by cmd/compare at threshold 0 —
+# under the race detector, across the seed matrix. Passing means every
+# batch answers every index bit-identically through kill, reroute and
+# group-commit replay, with zero determinism-guard trips.
+batch-soak:
+	@set -e; for seed in $(SOAK_SEEDS); do \
+		echo "== batch soak seed $$seed =="; \
+		SIGKERN_FAULTS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'BatchSoak|GatewayBatch|Batch' \
+			./cmd/simgate/... ./internal/cluster/... ./internal/svc/...; \
+	done
+
 # overload-soak is the overload acceptance run: the deadline-budget,
 # priority-class, and brownout suites under the race detector, capped by
 # a real 4-process flood — three chaos-armed one-worker shards behind a
@@ -105,7 +120,7 @@ bench-json:
 # that cannot be noise.
 BENCH_TOL ?= 0.30
 benchdiff: bench-json
-	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR6.json BENCH.json
+	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR9.json BENCH.json
 
 clean:
 	$(GO) clean ./...

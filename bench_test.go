@@ -687,6 +687,155 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	})
 }
 
+// --- Batch grid fast path --------------------------------------------------
+
+// batchGridSpecs builds a 1,000-cell grid of distinct real-simulation
+// specs: 5 machines x 2 kernels x 100 workload variants. Every cell
+// hashes differently (the variant changes the active kernel's own
+// dimensions), so a cold run means 1,000 real simulator executions.
+func batchGridSpecs() []svc.JobSpec {
+	names := []string{"PPC", "AltiVec", "VIRAM", "Imagine", "Raw"}
+	kernels := []core.KernelID{core.CornerTurn, core.BeamSteering}
+	specs := make([]svc.JobSpec, 0, len(names)*len(kernels)*100)
+	for _, name := range names {
+		for _, k := range kernels {
+			for v := 0; v < 100; v++ {
+				w := core.Workload{
+					CornerTurn: cornerturn.Spec{Rows: 16 << (v % 3), Cols: 16 * (v/3 + 1), BlockSize: 16},
+					CSLC:       cslc.Spec{MainChannels: 1, AuxChannels: 1, Samples: 256, SubBands: 3, FFTSize: 64, Radix: fft.Radix4},
+					Beam:       beamsteer.Spec{Elements: 32 + 8*(v%10), Directions: 2 + v/10, Dwells: 2, ShiftBits: 2, Rounding: 2},
+				}
+				specs = append(specs, svc.JobSpec{Machine: name, Kernel: k, Workload: &w})
+			}
+		}
+	}
+	return specs
+}
+
+func batchBenchService() *svc.Service {
+	return svc.NewService(svc.Options{
+		Pool: svc.PoolOptions{
+			Workers:      runtime.GOMAXPROCS(0),
+			QueueDepth:   4096,
+			MemoCapacity: 4096,
+		},
+		MaxJobs: 4096,
+	})
+}
+
+// drainBatch submits specs as one group and drains the results,
+// returning the summed simulated cycles (the drift gate: deterministic
+// across every run and every path).
+func drainBatch(b *testing.B, s *svc.Service, specs []svc.JobSpec) uint64 {
+	b.Helper()
+	run, err := s.SubmitBatch(context.Background(), specs, svc.BatchOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum uint64
+	n := 0
+	for br := range run.Results() {
+		if br.State != svc.Done || br.Result == nil {
+			b.Fatalf("cell %d: %s %q", br.Index, br.State, br.Error)
+		}
+		sum += br.Result.Cycles
+		n++
+	}
+	if n != len(specs) {
+		b.Fatalf("drained %d cells, want %d", n, len(specs))
+	}
+	return sum
+}
+
+// BenchmarkBatchGrid measures the grid fast path against its
+// sequential baseline on the same 1,000-cell grid of real simulations.
+// ns/op is the wall-clock for the WHOLE grid; "sim-kcycles" is the
+// grid's summed simulated cycles, identical across all four legs and
+// exactly gated by benchdiff. The acceptance target is cold-grid
+// ns/op at least 5x below sequential-jobs ns/op.
+func BenchmarkBatchGrid(b *testing.B) {
+	specs := batchGridSpecs()
+	if len(specs) != 1000 {
+		b.Fatalf("grid has %d cells, want 1000", len(specs))
+	}
+
+	// Sequential baseline: one job at a time through the service's
+	// single-submit path, waiting for each result — the workflow the
+	// batch API replaces.
+	b.Run("sequential-jobs-1000", func(b *testing.B) {
+		ctx := context.Background()
+		var sum uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := batchBenchService()
+			b.StartTimer()
+			sum = 0
+			for _, spec := range specs {
+				j, err := s.Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done, err := s.Wait(ctx, j.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += done.Result.Cycles
+			}
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+
+	b.Run("cold-1000", func(b *testing.B) {
+		var sum uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := batchBenchService()
+			b.StartTimer()
+			sum = drainBatch(b, s, specs)
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+
+	b.Run("warm-memo-1000", func(b *testing.B) {
+		s := batchBenchService()
+		defer s.Close()
+		drainBatch(b, s, specs) // warm every cell
+		var sum uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum = drainBatch(b, s, specs)
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+
+	// Mixed: half the grid warmed, half cold — the incremental-sweep
+	// shape (rerunning a study after touching half the configs).
+	b.Run("mixed-1000", func(b *testing.B) {
+		var sum uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := batchBenchService()
+			drainBatch(b, s, specs[:len(specs)/2])
+			b.StartTimer()
+			sum = drainBatch(b, s, specs)
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+}
+
 // BenchmarkAblationVIRAMCornerTurnFormulation: strided loads + padding
 // (the paper's implementation) vs unit-stride loads with in-register
 // permutes.

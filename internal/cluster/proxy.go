@@ -139,6 +139,14 @@ func (g *Gateway) Prober() *Prober { return g.prober }
 //	                         successors on shard failure, forwarding the
 //	                         Idempotency-Key (defaulted to the spec hash)
 //	                         so replays dedup
+//	POST /v1/batch           split a batch (NDJSON or grid form) across
+//	                         the ring by spec hash: one sub-batch per
+//	                         owning shard, streams merged back line by
+//	                         line in completion order with client
+//	                         indices preserved; a failed sub-batch
+//	                         reroutes its unanswered cells to ring
+//	                         successors, and cells no shard could run
+//	                         come back as failed lines, never dropped
 //	GET  /v1/jobs/{id}       routed by the ID's shard prefix and hash
 //	GET  /v1/jobs/{id}/trace suffix; hedged across successors
 //	GET  /v1/jobs            forwarded to the first ready shard
@@ -153,6 +161,7 @@ func (g *Gateway) Prober() *Prober { return g.prober }
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", g.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		g.handleJobGet(w, r, "")
 	})

@@ -138,6 +138,18 @@ type MatMulRunner interface {
 	RunMatMul(spec matmul.Spec) (Result, error)
 }
 
+// Resettable is implemented by machine models whose instances may be
+// reused across jobs. Reset rewinds every piece of simulation state —
+// memory timelines, cache contents, accounting counters — to the
+// just-constructed state, so a reused instance produces bit-identical
+// cycle counts to a fresh one. Every kernel entry point performs the
+// same rewind on entry; the exported contract exists so executors that
+// cache instances can assert the capability up front, and so tests can
+// verify the rewind stays complete as models grow state.
+type Resettable interface {
+	Reset()
+}
+
 // Machine is one architecture model: it can run the three kernels and
 // report simulated cycles.
 type Machine interface {

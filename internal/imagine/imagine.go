@@ -169,6 +169,12 @@ func (m *Machine) Params() core.Params {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Reset implements core.Resettable: it rewinds every memory-controller
+// timeline, the SRF/cluster availability clocks, and all accounting so
+// the instance can be reused across jobs with bit-identical cycle
+// counts. Every kernel entry point performs the same rewind on entry.
+func (m *Machine) Reset() { m.reset() }
+
 // reset rewinds all timelines between kernel runs.
 func (m *Machine) reset() {
 	for _, mc := range m.mcs {

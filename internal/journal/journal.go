@@ -443,6 +443,79 @@ func (j *Journal) Append(payload []byte) error {
 	return nil
 }
 
+// AppendBatch writes a group of records as one commit: every frame is
+// encoded first (an invalid record fails the whole group before any
+// byte lands), then all frames go to the OS in a single write and —
+// under SyncAlways — a single fsync covers the group. This is the
+// group-commit half that amortizes the per-record durability cost
+// across a batch: one disk round-trip instead of len(payloads).
+func (j *Journal) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	var group []byte
+	for _, payload := range payloads {
+		frame, err := EncodeFrame(payload)
+		if err != nil {
+			return err
+		}
+		group = append(group, frame...)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if _, err := j.f.Write(group); err != nil {
+		return fmt.Errorf("journal: append batch: %w", err)
+	}
+	j.appended += uint64(len(payloads))
+	j.segBytes += int64(len(group))
+	j.dirty = true
+	if j.opts.Sync == SyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if j.segBytes >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendDefer writes one record without fsyncing, regardless of the
+// sync policy: the caller owns the Sync() that makes a run of deferred
+// appends durable — the amortized-fsync half of group commit. A crash
+// before that Sync can lose the record; deferred callers accept this
+// because the records they defer are reconstructible (the service
+// replays a batch member from its group-accepted record and re-runs the
+// deterministic simulation).
+func (j *Journal) AppendDefer(payload []byte) error {
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.appended++
+	j.segBytes += int64(len(frame))
+	j.dirty = true
+	if j.segBytes >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Sync fsyncs the active segment, making every appended record durable.
 func (j *Journal) Sync() error {
 	j.mu.Lock()

@@ -39,6 +39,16 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the
+// NDJSON batch endpoint) keep their per-line flushes through the
+// middleware — without this the Flusher assertion fails on the wrapper
+// and clients wait on buffered headers.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // Instrument wraps an HTTP handler with request-ID propagation and
 // structured access logging: the inbound X-Request-Id (or a generated
 // ID) is placed in the request context, echoed on the response, and —

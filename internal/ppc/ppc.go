@@ -152,6 +152,12 @@ func (m *Machine) Config() Config { return m.cfg }
 // Vector reports whether the machine runs AltiVec code.
 func (m *Machine) Vector() bool { return m.cfg.Variant == AltiVec }
 
+// Reset implements core.Resettable: it rewinds the cache hierarchy and
+// all accounting so the instance can be reused across jobs with
+// bit-identical cycle counts. Every kernel entry point performs the
+// same rewind on entry.
+func (m *Machine) Reset() { m.reset() }
+
 // reset rewinds caches and accounting between kernel runs.
 func (m *Machine) reset() {
 	m.l1.Reset() // cascades to L2 and DRAM

@@ -134,6 +134,12 @@ func (m *Machine) Config() Config { return m.cfg }
 // Tiles returns the tile count.
 func (m *Machine) Tiles() int { return m.mesh.Tiles() }
 
+// Reset implements core.Resettable: it rewinds every tile clock, mesh
+// link, and port timeline so the instance can be reused across jobs
+// with bit-identical cycle counts. Every kernel entry point performs
+// the same rewind on entry.
+func (m *Machine) Reset() { m.reset() }
+
 // reset rewinds all timelines between kernel runs.
 func (m *Machine) reset() {
 	n := m.mesh.Tiles()

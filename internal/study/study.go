@@ -92,11 +92,16 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 	for i, p := range points {
 		out[i] = Point{Label: p.label, Cycles: map[string]uint64{}}
 	}
+	// The whole sweep goes to the pool as one batch group: one queue
+	// reservation per wave instead of a blocking Submit per cell. Cells
+	// stay plain Run tasks — sweep closures bake in per-point machine
+	// configurations, so two cells named "VIRAM" may be different
+	// machines and must not share a reused instance.
 	type cell struct {
 		point, run int
-		fut        *svc.Future
 	}
 	var cells []cell
+	var tasks []svc.Task
 	for pi, p := range points {
 		for ri, mr := range p.runs {
 			// Resume: a verified cell from a previous run's checkpoint is
@@ -109,28 +114,29 @@ func (s Sweeper) sweep(points []pointRuns) ([]Point, error) {
 				}
 			}
 			run := mr.run
-			fut, err := pool.Submit(svc.Task{
+			cells = append(cells, cell{point: pi, run: ri})
+			tasks = append(tasks, svc.Task{
 				Label:    fmt.Sprintf("%s @ %s", mr.machine, p.label),
 				Priority: svc.PriorityBatch,
 				Run: func(context.Context) (core.Result, error) {
 					return run()
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell{point: pi, run: ri, fut: fut})
 		}
 	}
-	for _, c := range cells {
+	futs, err := pool.SubmitBatch(context.Background(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
 		label, machine := points[c.point].label, points[c.point].runs[c.run].machine
-		r, err := c.fut.Wait(context.Background())
+		r, err := futs[i].Wait(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("study: %s: %w", machine, err)
 		}
 		out[c.point].Cycles[machine] = r.Cycles
 		if s.OnCell != nil {
-			s.OnCell(label, machine, r, c.fut.Elapsed())
+			s.OnCell(label, machine, r, futs[i].Elapsed())
 		}
 	}
 	return out, nil

@@ -58,6 +58,21 @@ const StatusClientClosedRequest = 499
 //	                         budget expires is dropped at pickup, never
 //	                         burning a worker slot. Bad parameter values
 //	                         are 400 with a structured ParamError body.
+//	POST /v1/batch           submit a whole grid as one group. The body
+//	                         is either NDJSON (one JobSpec per line,
+//	                         optional "index" field echoed back) or,
+//	                         with Content-Type: application/json, a
+//	                         compact grid form {machines, kernels,
+//	                         workloads} expanded row-major server-side.
+//	                         Admission (deadline budget, breakers) is
+//	                         checked once for the group; results stream
+//	                         back as application/x-ndjson in completion
+//	                         order, each line a job snapshot with its
+//	                         cell index, then a final summary line.
+//	                         Malformed lines are 400 with the 1-based
+//	                         line number; more than MaxBatchCells cells
+//	                         or a body over 16 MiB is 413. Disconnecting
+//	                         cancels only cells that have not started.
 //	GET  /v1/jobs            list tracked jobs
 //	GET  /v1/jobs/{id}       one job's status and result
 //	GET  /v1/jobs/{id}/trace the job's lifecycle trace (span events)
@@ -83,6 +98,7 @@ const StatusClientClosedRequest = 499
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)

@@ -1,0 +1,225 @@
+package svc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sigkern/internal/resilience"
+)
+
+// maxBatchBodyBytes bounds POST /v1/batch bodies — generous enough for
+// a full MaxBatchCells NDJSON batch with explicit workloads, small
+// enough that a runaway client cannot buffer the process out of memory.
+// Oversized bodies are 413, like oversized cell counts.
+const maxBatchBodyBytes = 16 << 20
+
+// ndjsonContentType marks newline-delimited JSON streams: the batch
+// request body (one JobSpec per line) and the batch response (one
+// completed cell per line, in completion order).
+const ndjsonContentType = "application/x-ndjson"
+
+// batchLine is one NDJSON request line: a JobSpec plus an optional
+// explicit index echoed back in the cell's result line. Clients that
+// omit it get the 0-based line position; the cluster gateway sets it to
+// preserve a client's numbering while splitting one batch across
+// shards.
+type batchLine struct {
+	JobSpec
+	Index *int `json:"index,omitempty"`
+}
+
+// BatchSummary is the final NDJSON line of a batch response, after
+// every cell line.
+type BatchSummary struct {
+	Done      bool `json:"done"`
+	Cells     int  `json:"cells"`
+	Failed    int  `json:"failed"`
+	FromCache int  `json:"from_cache"`
+}
+
+// handleBatch serves POST /v1/batch: the whole group is parsed and
+// admitted as one unit, then results stream back as NDJSON in
+// completion order, each line a job snapshot tagged with its cell
+// index. See Handler for the wire contract.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	prParam := r.URL.Query().Get("priority")
+	priority, err := ParsePriority(prParam)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "priority",
+			Value:     prParam,
+			Want:      []string{string(PriorityBatch), string(PriorityInteractive)},
+		})
+		return
+	}
+	budgetHdr := r.Header.Get("X-Deadline-Budget")
+	budget, err := resilience.ParseTimeout(budgetHdr, maxRequestTimeout)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     err.Error(),
+			Parameter: "X-Deadline-Budget",
+			Value:     budgetHdr,
+			Want:      []string{"a Go duration, e.g. 5s or 500ms, at most " + maxRequestTimeout.String()},
+		})
+		return
+	}
+
+	specs, indices, ok := s.readBatchBody(w, r)
+	if !ok {
+		return
+	}
+
+	run, err := s.SubmitBatch(r.Context(), specs, BatchOptions{Priority: priority, Budget: budget})
+	if err != nil {
+		var bse *BatchSpecError
+		switch {
+		case errors.As(err, &bse):
+			// Point the client at the offending NDJSON line (or grid
+			// cell): the 0-based spec index maps 1:1 onto parsed lines.
+			writeJSON(w, http.StatusBadRequest, ParamError{
+				Error:     err.Error(),
+				Parameter: "line",
+				Value:     strconv.Itoa(bse.Index + 1),
+				Want:      []string{"a valid JobSpec per line"},
+			})
+		case errors.Is(err, ErrBatchTooLarge):
+			writeError(w, httpError{http.StatusRequestEntityTooLarge, err.Error()})
+		case errors.Is(err, ErrBatchEmpty):
+			writeError(w, httpError{http.StatusBadRequest, err.Error()})
+		case errors.Is(err, ErrBudgetExhausted):
+			setRetryAfter(w, s.retryAfter(priority))
+			writeError(w, httpError{http.StatusGatewayTimeout, err.Error()})
+		case errors.Is(err, resilience.ErrBreakerOpen):
+			setRetryAfter(w, time.Second)
+			writeError(w, httpError{http.StatusServiceUnavailable, err.Error()})
+		default:
+			writeError(w, err) // durability or pool closed: 503
+		}
+		return
+	}
+
+	// Stream cells as they complete. A client that disconnects
+	// mid-stream cancels only cells that have not started (dropped at
+	// worker pickup); running cells finish and are journaled, so the
+	// work already paid for is never discarded.
+	stopCancel := context.AfterFunc(r.Context(), run.Cancel)
+	defer stopCancel()
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.Header().Set("X-Batch-Cells", strconv.Itoa(len(specs)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before the first cell completes: streaming
+		// clients need the 200 to start reading, and a client gating its
+		// own workload on it would otherwise deadlock against us.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	summary := BatchSummary{Cells: len(specs)}
+	for br := range run.Results() {
+		if br.State == Failed {
+			summary.Failed++
+		}
+		if br.FromCache {
+			summary.FromCache++
+		}
+		br.Index = indices[br.Index]
+		_ = enc.Encode(br)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary.Done = true
+	_ = enc.Encode(summary)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// readBatchBody parses a batch request body into specs plus the
+// client-visible index of each cell. Content-Type application/json is
+// the compact grid-expansion form (BatchGrid); anything else is NDJSON,
+// one JobSpec per line. On failure it writes the error response (400
+// with the 1-based line number, or 413 past the body cap) and reports
+// ok=false.
+func (s *Service) readBatchBody(w http.ResponseWriter, r *http.Request) (specs []JobSpec, indices []int, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		var grid BatchGrid
+		if err := dec.Decode(&grid); err != nil {
+			if isBodyTooLarge(err) {
+				writeError(w, httpError{http.StatusRequestEntityTooLarge,
+					"batch body exceeds " + strconv.Itoa(maxBatchBodyBytes) + " bytes"})
+				return nil, nil, false
+			}
+			writeError(w, httpError{http.StatusBadRequest, "bad batch grid: " + err.Error()})
+			return nil, nil, false
+		}
+		specs = grid.Expand()
+		indices = make([]int, len(specs))
+		for i := range indices {
+			indices[i] = i
+		}
+		return specs, indices, true
+	}
+
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBodyBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var bl batchLine
+		if err := dec.Decode(&bl); err != nil {
+			writeJSON(w, http.StatusBadRequest, ParamError{
+				Error:     "bad batch line: " + err.Error(),
+				Parameter: "line",
+				Value:     strconv.Itoa(line),
+				Want:      []string{"one JobSpec JSON object per line, optional \"index\" field"},
+			})
+			return nil, nil, false
+		}
+		idx := len(specs)
+		if bl.Index != nil {
+			idx = *bl.Index
+		}
+		specs = append(specs, bl.JobSpec)
+		indices = append(indices, idx)
+	}
+	if err := sc.Err(); err != nil {
+		if isBodyTooLarge(err) {
+			writeError(w, httpError{http.StatusRequestEntityTooLarge,
+				"batch body exceeds " + strconv.Itoa(maxBatchBodyBytes) + " bytes"})
+			return nil, nil, false
+		}
+		writeJSON(w, http.StatusBadRequest, ParamError{
+			Error:     "bad batch line: " + err.Error(),
+			Parameter: "line",
+			Value:     strconv.Itoa(line + 1),
+			Want:      []string{"one JobSpec JSON object per line, at most " + strconv.Itoa(maxBodyBytes) + " bytes each"},
+		})
+		return nil, nil, false
+	}
+	return specs, indices, true
+}
+
+// isBodyTooLarge reports whether err came from the MaxBytesReader cap.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

@@ -149,6 +149,45 @@ func (f *foldState) apply(ev jobEvent) {
 			f.idem[j.IdemKey] = j.ID
 		}
 		f.stats.JobsRestored++
+	case eventBatch:
+		// One group-commit frame restores every member under its
+		// original ID. Members fold exactly like individually accepted
+		// jobs (duplicates first-win, the record's Seq advances the
+		// counter once), so the rest of the log — started/done/failed
+		// events for members — applies unchanged. Replayed members stay
+		// groupCommit: their re-run transitions keep riding amortized
+		// syncs.
+		if len(ev.Batch) == 0 {
+			f.stats.BadRecords++
+			return
+		}
+		if ev.Seq > f.seq {
+			f.seq = ev.Seq
+		}
+		for _, m := range ev.Batch {
+			if m.ID == "" {
+				f.stats.BadRecords++
+				continue
+			}
+			if _, exists := f.jobs[m.ID]; exists {
+				continue
+			}
+			j := &Job{
+				ID:        m.ID,
+				Spec:      m.Spec,
+				Hash:      m.Hash,
+				State:     Queued,
+				Submitted: ev.Time,
+				Trace: []obs.Event{
+					{Name: obs.EventAccepted, Time: ev.Time, Note: "batch"},
+					{Name: obs.EventQueued, Time: ev.Time},
+				},
+				groupCommit: true,
+			}
+			f.jobs[j.ID] = j
+			f.order = append(f.order, j.ID)
+			f.stats.JobsRestored++
+		}
 	case eventStarted:
 		if j, ok := f.jobs[ev.ID]; ok && !j.State.Terminal() {
 			j.State = Running

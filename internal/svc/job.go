@@ -141,6 +141,10 @@ type Job struct {
 	// queued, so a restart re-enqueues it instead of replaying a
 	// failure the client never caused.
 	interrupted bool
+	// groupCommit marks a member of a batch group: its post-acceptance
+	// journal appends skip the per-record fsync and ride the group's
+	// amortized Sync instead (see journalEventLocked).
+	groupCommit bool
 }
 
 // clone returns a copy safe to hand outside the registry lock: the

@@ -77,8 +77,20 @@ type Metrics struct {
 	// engaged, and the controller's current verdict (gauge).
 	budgetDrops  atomic.Uint64
 	expiredDrops atomic.Uint64
-	brownoutJobs   atomic.Uint64
-	brownoutOn     atomic.Bool
+	brownoutJobs atomic.Uint64
+	brownoutOn   atomic.Bool
+	// Batch fast-path counters: accepted groups and their member
+	// cells, plus the machine-reuse ledger — executions served by a
+	// per-worker cached instance, fresh constructions, sampled
+	// fresh-instance verifications, and cache evictions (abandoned or
+	// failed attempts, determinism trips).
+	batchGroups   atomic.Uint64
+	batchCells    atomic.Uint64
+	batchCancels  atomic.Uint64
+	machineReuses atomic.Uint64
+	machineBuilds atomic.Uint64
+	reuseChecks   atomic.Uint64
+	machineEvicts atomic.Uint64
 
 	// latMu guards the two rolling windows only. all holds every
 	// terminal job (cache hits included) and feeds the reported
@@ -241,6 +253,34 @@ func (m *Metrics) setBrownoutActive(v bool) { m.brownoutOn.Store(v) }
 // BrownoutActive returns the last published brownout verdict.
 func (m *Metrics) BrownoutActive() bool { return m.brownoutOn.Load() }
 
+// batchAccepted records one admitted batch group and its cell count.
+func (m *Metrics) batchAccepted(cells int) {
+	m.batchGroups.Add(1)
+	m.batchCells.Add(uint64(cells))
+}
+
+// batchCancelled records one batch group cancelled mid-flight (client
+// disconnect or explicit BatchRun.Cancel).
+func (m *Metrics) batchCancelled() {
+	m.batchCancels.Add(1)
+}
+
+// machineReused records an execution served by a per-worker cached
+// machine instance (rewound, not reconstructed).
+func (m *Metrics) machineReused() { m.machineReuses.Add(1) }
+
+// machineBuilt records a fresh machine-instance construction on the
+// reuse path (cache miss, non-Resettable machine, or quarantine).
+func (m *Metrics) machineBuilt() { m.machineBuilds.Add(1) }
+
+// reuseChecked records one sampled fresh-instance verification of a
+// reused-instance result.
+func (m *Metrics) reuseChecked() { m.reuseChecks.Add(1) }
+
+// machineEvicted records a worker dropping a cached instance whose
+// state is no longer trustworthy.
+func (m *Metrics) machineEvicted() { m.machineEvicts.Add(1) }
+
 // breakerRejected records an admission rejected by an open breaker.
 func (m *Metrics) breakerRejected() { m.breakerDrops.Add(1) }
 
@@ -355,6 +395,18 @@ type Snapshot struct {
 	// verdict.
 	BrownoutServed uint64 `json:"brownout_served"`
 	BrownoutActive bool   `json:"brownout_active"`
+	// BatchGroups/BatchCells count accepted /v1/batch groups and their
+	// member cells; MachineReuses/MachineBuilds are the per-worker
+	// instance-cache ledger (reused vs freshly constructed);
+	// ReuseChecks counts sampled fresh-instance verifications and
+	// MachineEvictions cache entries dropped as untrustworthy.
+	BatchGroups      uint64 `json:"batch_groups"`
+	BatchCells       uint64 `json:"batch_cells"`
+	BatchCancels     uint64 `json:"batch_cancels"`
+	MachineReuses    uint64 `json:"machine_reuses"`
+	MachineBuilds    uint64 `json:"machine_builds"`
+	ReuseChecks      uint64 `json:"reuse_checks"`
+	MachineEvictions uint64 `json:"machine_evictions"`
 	// JournalAppendErrors counts job lifecycle transitions the
 	// durability journal failed to persist (disk trouble; the health
 	// endpoint degrades while it is non-zero).
@@ -406,6 +458,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		ExpiredDropped:  m.expiredDrops.Load(),
 		BrownoutServed:  m.brownoutJobs.Load(),
 		BrownoutActive:  m.brownoutOn.Load(),
+
+		BatchGroups:      m.batchGroups.Load(),
+		BatchCells:       m.batchCells.Load(),
+		BatchCancels:     m.batchCancels.Load(),
+		MachineReuses:    m.machineReuses.Load(),
+		MachineBuilds:    m.machineBuilds.Load(),
+		ReuseChecks:      m.reuseChecks.Load(),
+		MachineEvictions: m.machineEvicts.Load(),
 
 		JournalAppendErrors: m.journalErrs.Load(),
 
@@ -478,6 +538,13 @@ func (s Snapshot) describe() []metricDesc {
 		{"simserved_expired_jobs_dropped_total", "counter", "Queued jobs dropped at worker pickup after their deadline budget ran out.", fmt.Sprintf("%d", s.ExpiredDropped)},
 		{"simserved_brownout_served_total", "counter", "Degraded estimate-tier answers served while browned out.", fmt.Sprintf("%d", s.BrownoutServed)},
 		{"simserved_brownout_active", "gauge", "Whether the ?tier=auto brownout controller is engaged (1) or not (0).", boolToMetric(s.BrownoutActive)},
+		{"simserved_batch_groups_total", "counter", "Accepted batch groups.", fmt.Sprintf("%d", s.BatchGroups)},
+		{"simserved_batch_cells_total", "counter", "Member cells across accepted batch groups.", fmt.Sprintf("%d", s.BatchCells)},
+		{"simserved_batch_cancels_total", "counter", "Batch groups cancelled mid-flight.", fmt.Sprintf("%d", s.BatchCancels)},
+		{"simserved_machine_reuses_total", "counter", "Executions served by a per-worker cached machine instance.", fmt.Sprintf("%d", s.MachineReuses)},
+		{"simserved_machine_builds_total", "counter", "Fresh machine-instance constructions on the reuse path.", fmt.Sprintf("%d", s.MachineBuilds)},
+		{"simserved_reuse_checks_total", "counter", "Sampled fresh-instance verifications of reused-instance results.", fmt.Sprintf("%d", s.ReuseChecks)},
+		{"simserved_machine_evictions_total", "counter", "Cached machine instances dropped as untrustworthy.", fmt.Sprintf("%d", s.MachineEvictions)},
 		{"simserved_journal_append_errors_total", "counter", "Lifecycle transitions the durability journal failed to persist.", fmt.Sprintf("%d", s.JournalAppendErrors)},
 		{"simserved_estimates_served_total", "counter", "Estimate-tier jobs answered from the analytic roofline model.", fmt.Sprintf("%d", s.Estimates)},
 		{"simserved_model_drift_alerts_total", "counter", "Simulated results outside the analytic model's error envelope.", fmt.Sprintf("%d", s.ModelDrift)},

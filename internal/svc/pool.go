@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigkern/internal/cache"
@@ -84,6 +85,41 @@ type Task struct {
 	// context deadline is clamped to it.
 	Expires time.Time
 	Run     func(ctx context.Context) (core.Result, error)
+
+	// Machine, Factory and RunOn together select the machine-reuse
+	// execution path: the worker resolves an instance of Machine from
+	// its per-worker cache (rewinding it via core.Resettable) or
+	// constructs one with Factory on a miss, then invokes RunOn with
+	// it. RunOn must be a pure function of the task's spec and the
+	// instance — the reuse-sampling determinism guard may execute it a
+	// second time on a fresh instance to verify the reused one.
+	// Exactly one of Run and RunOn must be set.
+	Machine string
+	Factory MachineFactory
+	RunOn   func(ctx context.Context, m core.Machine) (core.Result, error)
+	// OnStart, when set, is called once from the worker goroutine at
+	// pickup, before the first attempt — not per retry, and never for
+	// cells answered by the memo or coalescing pre-filter.
+	OnStart func()
+	// Abort, when non-nil and closed, marks the task's group
+	// cancelled: a task still queued is failed with context.Canceled
+	// at worker pickup instead of occupying a slot. Running and
+	// completed tasks are unaffected — a batch client disconnecting
+	// cancels only unstarted cells.
+	Abort <-chan struct{}
+}
+
+// validate checks the task's execution-path invariants before admission.
+func (t *Task) validate() error {
+	switch {
+	case t.Run == nil && t.RunOn == nil:
+		return errors.New("svc: task with nil Run")
+	case t.Run != nil && t.RunOn != nil:
+		return errors.New("svc: task with both Run and RunOn")
+	case t.RunOn != nil && (t.Machine == "" || t.Factory == nil):
+		return errors.New("svc: RunOn task needs Machine and Factory")
+	}
+	return nil
 }
 
 // Future is the pending result of a submitted task.
@@ -143,7 +179,22 @@ type PoolOptions struct {
 	// Faults is the fault-injection registry the pool consults; nil
 	// means faults.Default() (armed from SIGKERN_FAULTS, usually off).
 	Faults *faults.Registry
+	// ReuseSampleEvery controls the reuse-sampling determinism guard:
+	// every Nth successful execution on a reused machine instance (per
+	// worker, per machine, starting with the first) is re-executed on
+	// a fresh instance and must reproduce the same cycle count bit for
+	// bit; a mismatch is a hard ErrDeterminism and disables instance
+	// reuse pool-wide. 0 means the default of 16; negative disables
+	// sampling.
+	ReuseSampleEvery int
 }
+
+// defaultReuseSampleEvery is the reuse-verification sampling interval
+// when PoolOptions.ReuseSampleEvery is zero. The first reuse of every
+// (worker, machine) instance is always sampled, so a Reset that leaks
+// state on every run is caught before a second reused result can ever
+// be published.
+const defaultReuseSampleEvery = 16
 
 // Pool is a bounded worker pool running simulation tasks with per-job
 // timeouts, panic isolation, transient-error retry, and optional result
@@ -172,6 +223,11 @@ type Pool struct {
 	// new task can slip into the queue behind the drain.
 	submitMu sync.RWMutex
 	closed   bool
+	// reuseOff quarantines the machine-instance caches: set the moment
+	// the reuse-sampling guard observes a cycle mismatch, after which
+	// every task gets a fresh factory instance again. One trip costs
+	// reuse, never correctness.
+	reuseOff atomic.Bool
 	wg       sync.WaitGroup
 	// cancel stops all workers' contexts on Close.
 	cancel context.CancelFunc
@@ -321,55 +377,17 @@ func (p *Pool) Submit(t Task) (*Future, error) { return p.submit(t, true) }
 func (p *Pool) TrySubmit(t Task) (*Future, error) { return p.submit(t, false) }
 
 func (p *Pool) submit(t Task, block bool) (*Future, error) {
-	if t.Run == nil {
-		return nil, errors.New("svc: task with nil Run")
+	if err := t.validate(); err != nil {
+		return nil, err
 	}
 	p.submitMu.RLock()
 	defer p.submitMu.RUnlock()
 	if p.closed {
 		return nil, ErrPoolClosed
 	}
-	fut := &Future{done: make(chan struct{}), started: make(chan struct{})}
-
-	// Serve memo hits synchronously: no worker slot, no queueing delay.
-	// The served copy is verified against the stored entry (Peek
-	// bypasses the corruption hook), so a damaged cache read becomes a
-	// hard ErrDeterminism, never a silently wrong cycle count.
-	if p.memo != nil && t.MemoKey != "" {
-		if r, ok := p.memo.Get(t.MemoKey); ok {
-			p.metrics.jobQueued()
-			if raw, ok := p.memo.Peek(t.MemoKey); !ok || raw.Cycles != r.Cycles || raw.Verified != r.Verified {
-				p.metrics.determinismViolation(t.Cell)
-				p.metrics.jobFinished(t.Cell, false, false, false, false, 0)
-				fut.err = fmt.Errorf("svc: job %q: memoized result failed verification: %w", t.Label, ErrDeterminism)
-				close(fut.started)
-				close(fut.done)
-				return fut, nil
-			}
-			p.metrics.cacheHit(t.Cell, r.Cycles)
-			p.metrics.jobFinished(t.Cell, false, true, false, false, 0)
-			fut.res, fut.fromCache = r, true
-			close(fut.started)
-			close(fut.done)
-			return fut, nil
-		}
-		p.metrics.cacheMiss(t.Cell)
-	}
-
-	// Coalesce duplicate in-flight work: if an execution for the same
-	// MemoKey is already queued or running, attach to its future rather
-	// than running the simulator again. The shared execution's lifetime
-	// is the pool's (its context derives from p.ctx, never a waiter's),
-	// so one waiter cancelling its Wait cannot poison the rest.
-	if t.MemoKey != "" {
-		p.inflightMu.Lock()
-		if leader, ok := p.inflight[t.MemoKey]; ok {
-			p.inflightMu.Unlock()
-			p.metrics.jobCoalesced(t.Cell)
-			return leader, nil
-		}
-		p.inflight[t.MemoKey] = fut
-		p.inflightMu.Unlock()
+	fut, enqueue := p.prepare(t)
+	if !enqueue {
+		return fut, nil
 	}
 
 	queue := p.tasks
@@ -397,6 +415,160 @@ func (p *Pool) submit(t Task, block bool) (*Future, error) {
 		return fut, nil
 	default:
 		return p.shedTask(t, fut)
+	}
+}
+
+// prepare answers the pre-queue half of one admission. A verified memo
+// hit or a coalesced attachment to in-flight work completes (or
+// returns) the future immediately without occupying a queue slot or a
+// worker — enqueue is false. Otherwise the returned future is
+// registered as the MemoKey's in-flight leader and the caller must
+// queue it or fail it. Called with submitMu read-held.
+func (p *Pool) prepare(t Task) (fut *Future, enqueue bool) {
+	fut = &Future{done: make(chan struct{}), started: make(chan struct{})}
+
+	// Serve memo hits synchronously: no worker slot, no queueing delay.
+	// The served copy is verified against the stored entry (Peek
+	// bypasses the corruption hook), so a damaged cache read becomes a
+	// hard ErrDeterminism, never a silently wrong cycle count.
+	if p.memo != nil && t.MemoKey != "" {
+		if r, ok := p.memo.Get(t.MemoKey); ok {
+			p.metrics.jobQueued()
+			if raw, ok := p.memo.Peek(t.MemoKey); !ok || raw.Cycles != r.Cycles || raw.Verified != r.Verified {
+				p.metrics.determinismViolation(t.Cell)
+				p.metrics.jobFinished(t.Cell, false, false, false, false, 0)
+				fut.err = fmt.Errorf("svc: job %q: memoized result failed verification: %w", t.Label, ErrDeterminism)
+				close(fut.started)
+				close(fut.done)
+				return fut, false
+			}
+			p.metrics.cacheHit(t.Cell, r.Cycles)
+			p.metrics.jobFinished(t.Cell, false, true, false, false, 0)
+			fut.res, fut.fromCache = r, true
+			close(fut.started)
+			close(fut.done)
+			return fut, false
+		}
+		p.metrics.cacheMiss(t.Cell)
+	}
+
+	// Coalesce duplicate in-flight work: if an execution for the same
+	// MemoKey is already queued or running, attach to its future rather
+	// than running the simulator again. The shared execution's lifetime
+	// is the pool's (its context derives from p.ctx, never a waiter's),
+	// so one waiter cancelling its Wait cannot poison the rest.
+	if t.MemoKey != "" {
+		p.inflightMu.Lock()
+		if leader, ok := p.inflight[t.MemoKey]; ok {
+			p.inflightMu.Unlock()
+			p.metrics.jobCoalesced(t.Cell)
+			return leader, false
+		}
+		p.inflight[t.MemoKey] = fut
+		p.inflightMu.Unlock()
+	}
+	return fut, true
+}
+
+// SubmitBatch admits a group of tasks as one batch. The memo/coalescing
+// pre-filter answers cached and duplicate cells synchronously — they
+// never occupy a queue slot or a worker — and the remaining cold cells
+// are fed to the admission queues in waves: one lock acquisition and
+// free-slot scan per wave rather than one send (and one shed decision)
+// per task. The returned futures are index-aligned with tasks, and all
+// of them eventually complete: cells not yet queued when ctx is
+// cancelled fail with ctx.Err(), and queued cells whose Task.Abort
+// channel closes are dropped at worker pickup. SubmitBatch itself never
+// blocks on queue capacity; the feeder applies backpressure in the
+// background.
+func (p *Pool) SubmitBatch(ctx context.Context, tasks []Task) ([]*Future, error) {
+	for i := range tasks {
+		if err := tasks[i].validate(); err != nil {
+			return nil, fmt.Errorf("svc: batch cell %d: %w", i, err)
+		}
+	}
+	futs := make([]*Future, len(tasks))
+	var pend []poolItem
+	p.submitMu.RLock()
+	if p.closed {
+		p.submitMu.RUnlock()
+		return nil, ErrPoolClosed
+	}
+	for i := range tasks {
+		fut, enqueue := p.prepare(tasks[i])
+		futs[i] = fut
+		if enqueue {
+			pend = append(pend, poolItem{task: tasks[i], fut: fut})
+		}
+	}
+	p.submitMu.RUnlock()
+	if len(pend) > 0 {
+		go p.feedBatch(ctx, pend)
+	}
+	return futs, nil
+}
+
+// feedBatch drains one batch's cold cells into the admission queues in
+// waves. Each wave takes the submit lock once and fills every free slot
+// without blocking; only when the queue is completely full does it fall
+// back to a single blocking send — the same backpressure point Submit
+// uses (workers keep draining because Close cannot cancel them until
+// the send's read lock is released). Pool close and ctx cancellation
+// both terminate the feeder, failing the cells that never reached a
+// queue.
+func (p *Pool) feedBatch(ctx context.Context, pend []poolItem) {
+	queueFor := func(t Task) chan poolItem {
+		if t.Priority == PriorityBatch {
+			return p.batch
+		}
+		return p.tasks
+	}
+	for len(pend) > 0 {
+		if err := ctx.Err(); err != nil {
+			p.failPending(pend, err)
+			return
+		}
+		p.submitMu.RLock()
+		if p.closed {
+			p.submitMu.RUnlock()
+			p.failPending(pend, ErrPoolClosed)
+			return
+		}
+		sent := 0
+	fill:
+		for sent < len(pend) {
+			select {
+			case queueFor(pend[sent].task) <- pend[sent]:
+				p.metrics.jobQueued()
+				sent++
+			default:
+				break fill
+			}
+		}
+		if sent == 0 {
+			select {
+			case queueFor(pend[0].task) <- pend[0]:
+				p.metrics.jobQueued()
+				sent = 1
+			case <-ctx.Done():
+				p.submitMu.RUnlock()
+				p.failPending(pend, ctx.Err())
+				return
+			}
+		}
+		p.submitMu.RUnlock()
+		pend = pend[sent:]
+	}
+}
+
+// failPending fails batch cells that never reached an admission queue.
+func (p *Pool) failPending(items []poolItem, cause error) {
+	for _, item := range items {
+		p.removeFlight(item.task.MemoKey, item.fut)
+		item.fut.err = fmt.Errorf("svc: job %q: %w", item.task.Label, cause)
+		p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
+		close(item.fut.started)
+		close(item.fut.done)
 	}
 }
 
@@ -456,14 +628,36 @@ func (p *Pool) Close() {
 	}
 }
 
+// workerState is one worker's private execution state: the machine
+// instance cache (simulator instances keyed by machine name, reused
+// across jobs so a 1,000-cell grid pays construction once per worker
+// and machine instead of once per cell) and the per-machine counters
+// that drive reuse-determinism sampling. Owned by the worker goroutine
+// and never shared, so reuse needs no locking — with one hazard: an
+// abandoned attempt (timeout) keeps running on its instance in the
+// background, so that entry is evicted rather than handed to the next
+// task.
+type workerState struct {
+	machines map[string]core.Machine
+	reuses   map[string]uint64
+}
+
+func newWorkerState() *workerState {
+	return &workerState{
+		machines: make(map[string]core.Machine),
+		reuses:   make(map[string]uint64),
+	}
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	ws := newWorkerState()
 	for {
 		// Strict priority: drain every pending interactive task before
 		// even looking at the batch queue.
 		select {
 		case item := <-p.tasks:
-			p.execute(item)
+			p.execute(item, ws)
 			continue
 		case <-p.ctx.Done():
 			return
@@ -471,9 +665,9 @@ func (p *Pool) worker() {
 		}
 		select {
 		case item := <-p.tasks:
-			p.execute(item)
+			p.execute(item, ws)
 		case item := <-p.batch:
-			p.execute(item)
+			p.execute(item, ws)
 		case <-p.ctx.Done():
 			return
 		}
@@ -492,7 +686,7 @@ func (e *panicError) Error() string {
 
 // execute runs one task with timeout, panic isolation, transient-error
 // retry, and the determinism guard over the memo table.
-func (p *Pool) execute(item poolItem) {
+func (p *Pool) execute(item poolItem, ws *workerState) {
 	start := time.Now()
 	// A task whose deadline budget ran out while it waited is dropped
 	// at pickup: the client's deadline has already passed, so running
@@ -507,8 +701,26 @@ func (p *Pool) execute(item poolItem) {
 		close(item.fut.done)
 		return
 	}
+	// A cell of a cancelled batch is dropped at pickup the same way:
+	// the group's client is gone, so only cells that already started
+	// run to completion.
+	if item.task.Abort != nil {
+		select {
+		case <-item.task.Abort:
+			p.removeFlight(item.task.MemoKey, item.fut)
+			item.fut.err = fmt.Errorf("svc: job %q: batch cancelled in queue: %w", item.task.Label, context.Canceled)
+			p.metrics.jobFinished(item.task.Cell, false, false, false, false, 0)
+			close(item.fut.started)
+			close(item.fut.done)
+			return
+		default:
+		}
+	}
 	close(item.fut.started)
 	p.metrics.jobStarted()
+	if item.task.OnStart != nil {
+		item.task.OnStart()
+	}
 
 	timeout := p.opts.JobTimeout
 	if !item.task.Expires.IsZero() {
@@ -525,14 +737,16 @@ func (p *Pool) execute(item poolItem) {
 	var res core.Result
 	var attempt int
 	var lastErr error
+	var reused bool
 	attempts, err := p.opts.Retry.Do(ctx, func(ctx context.Context) error {
 		attempt++
 		if attempt > 1 && item.task.OnRetry != nil {
 			item.task.OnRetry(attempt, lastErr)
 		}
-		r, aerr := p.runAttempt(ctx, item.task)
+		r, onReused, aerr := p.runAttempt(ctx, item.task, ws)
 		if aerr == nil {
 			res = r
+			reused = onReused
 		}
 		lastErr = aerr
 		return aerr
@@ -550,6 +764,20 @@ func (p *Pool) execute(item poolItem) {
 	var pe *panicError
 	panicked := errors.As(err, &pe)
 	timedOut := errors.Is(err, ErrTimeout)
+
+	// Reuse-sampling determinism guard: a sampled cell served by a
+	// reused instance is re-executed on a fresh factory instance and the
+	// two cycle counts compared bit for bit. The paper machines rewind
+	// completely (every kernel entry resets), so a mismatch means a
+	// Reset that leaked state — surfaced as a hard ErrDeterminism, with
+	// reuse quarantined pool-wide, never a silently wrong number.
+	if err == nil && reused && p.sampleReuse(ws, item.task.Machine) {
+		if verr := p.verifyReuse(ctx, item.task, res); verr != nil {
+			err = verr
+			p.reuseOff.Store(true)
+			p.evictMachine(ws, item.task.Machine)
+		}
+	}
 
 	if err == nil && p.memo != nil && item.task.MemoKey != "" {
 		// Determinism guard: a re-executed (possibly retried) job must
@@ -585,8 +813,18 @@ func (p *Pool) execute(item poolItem) {
 // consulting the execute fault point. The simulator cannot be
 // interrupted mid-flight: when ctx ends first the attempt is abandoned
 // (its goroutine finishes in the background, the buffered channel lets
-// it exit) and the deadline is reported as ErrTimeout.
-func (p *Pool) runAttempt(ctx context.Context, t Task) (core.Result, error) {
+// it exit) and the deadline is reported as ErrTimeout. reused reports
+// whether a RunOn attempt executed on a cached machine instance.
+func (p *Pool) runAttempt(ctx context.Context, t Task, ws *workerState) (core.Result, bool, error) {
+	var m core.Machine
+	var reused bool
+	if t.RunOn != nil {
+		var err error
+		m, reused, err = p.resolveMachine(t, ws)
+		if err != nil {
+			return core.Result{}, false, fmt.Errorf("svc: job %q: %w", t.Label, err)
+		}
+	}
 	type outcome struct {
 		res core.Result
 		err error
@@ -608,17 +846,132 @@ func (p *Pool) runAttempt(ctx context.Context, t Task) (core.Result, error) {
 				return
 			}
 		}
-		res, err := t.Run(ctx)
+		var res core.Result
+		var err error
+		if t.RunOn != nil {
+			res, err = t.RunOn(ctx, m)
+		} else {
+			res, err = t.Run(ctx)
+		}
 		ch <- outcome{res: res, err: err}
 	}()
 
 	select {
 	case out := <-ch:
-		return out.res, out.err
-	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return core.Result{}, fmt.Errorf("svc: job %q: %w", t.Label, ErrTimeout)
+		if t.RunOn != nil {
+			if out.err == nil {
+				p.cacheMachine(ws, t.Machine, m)
+			} else {
+				// A failed or panicked attempt leaves the instance in an
+				// unknown state; drop it rather than hand it to the next
+				// task.
+				p.evictMachine(ws, t.Machine)
+			}
 		}
-		return core.Result{}, fmt.Errorf("svc: job %q: %w", t.Label, ctx.Err())
+		return out.res, reused, out.err
+	case <-ctx.Done():
+		if t.RunOn != nil {
+			// The abandoned attempt keeps running on m in the
+			// background; the instance must never be reused while
+			// another goroutine may still be mutating it.
+			p.evictMachine(ws, t.Machine)
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return core.Result{}, reused, fmt.Errorf("svc: job %q: %w", t.Label, ErrTimeout)
+		}
+		return core.Result{}, reused, fmt.Errorf("svc: job %q: %w", t.Label, ctx.Err())
 	}
+}
+
+// resolveMachine hands the attempt a simulator instance: the worker's
+// cached one (rewound via core.Resettable) when it has run this machine
+// before, a freshly constructed one otherwise. Instances that do not
+// implement core.Resettable are never cached — those machines are
+// rebuilt per job exactly as before the cache existed — and once the
+// reuse quarantine has tripped every task gets a fresh instance.
+func (p *Pool) resolveMachine(t Task, ws *workerState) (core.Machine, bool, error) {
+	if cached, ok := ws.machines[t.Machine]; ok && !p.reuseOff.Load() {
+		if r, isReset := cached.(core.Resettable); isReset {
+			r.Reset()
+			p.metrics.machineReused()
+			return cached, true, nil
+		}
+		delete(ws.machines, t.Machine)
+	}
+	m, err := t.Factory(t.Machine)
+	if err != nil {
+		return nil, false, err
+	}
+	p.metrics.machineBuilt()
+	return m, false, nil
+}
+
+// cacheMachine stores a cleanly used instance for the next job on this
+// worker; non-Resettable machines and quarantined pools skip the cache.
+func (p *Pool) cacheMachine(ws *workerState, name string, m core.Machine) {
+	if p.reuseOff.Load() {
+		return
+	}
+	if _, ok := m.(core.Resettable); ok {
+		ws.machines[name] = m
+	}
+}
+
+// evictMachine drops a worker's cached instance whose state is no
+// longer trustworthy (abandoned attempt, failed run, determinism trip).
+func (p *Pool) evictMachine(ws *workerState, name string) {
+	if _, ok := ws.machines[name]; ok {
+		delete(ws.machines, name)
+		p.metrics.machineEvicted()
+	}
+}
+
+// sampleReuse deterministically picks reused-instance executions for
+// fresh-instance verification: per worker and machine, the first reuse
+// and every ReuseSampleEvery-th after it.
+func (p *Pool) sampleReuse(ws *workerState, name string) bool {
+	every := p.opts.ReuseSampleEvery
+	if every < 0 {
+		return false
+	}
+	if every == 0 {
+		every = defaultReuseSampleEvery
+	}
+	n := ws.reuses[name]
+	ws.reuses[name] = n + 1
+	return n%uint64(every) == 0
+}
+
+// verifyReuse re-executes the task on a fresh factory instance and
+// compares simulated cycles with the reused-instance result. Only a
+// cycle mismatch fails the job; a factory error or a failed fresh run
+// is inconclusive and changes nothing — the retry policy and the memo
+// guard still protect the primary result. RunOn is documented pure, so
+// re-invoking it performs no duplicate side effects.
+func (p *Pool) verifyReuse(ctx context.Context, t Task, got core.Result) error {
+	p.metrics.reuseChecked()
+	fresh, err := t.Factory(t.Machine)
+	if err != nil {
+		return nil
+	}
+	var vres core.Result
+	verr := func() (rerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				rerr = &panicError{label: t.Label, value: r}
+			}
+		}()
+		var e error
+		vres, e = t.RunOn(ctx, fresh)
+		return e
+	}()
+	if verr != nil {
+		return nil
+	}
+	if vres.Cycles != got.Cycles {
+		p.metrics.determinismViolation(t.Cell)
+		return fmt.Errorf("svc: job %q: reused instance ran to %d cycles but a fresh instance runs to %d: %w",
+			t.Label, got.Cycles, vres.Cycles, ErrDeterminism)
+	}
+	return nil
 }

@@ -161,7 +161,7 @@ func TestDeterminismGuardOnReexecution(t *testing.T) {
 	// the memoized 501, and the guard must refuse to serve either.
 	p.memo.Put("k3", core.Result{Cycles: 501, Verified: true})
 	fut := &Future{done: make(chan struct{}), started: make(chan struct{})}
-	p.execute(poolItem{task: Task{Label: "reexec", MemoKey: "k3", Run: okTask(500)}, fut: fut})
+	p.execute(poolItem{task: Task{Label: "reexec", MemoKey: "k3", Run: okTask(500)}, fut: fut}, newWorkerState())
 	if _, werr := fut.Wait(context.Background()); !errors.Is(werr, ErrDeterminism) {
 		t.Fatalf("err = %v, want ErrDeterminism", werr)
 	}

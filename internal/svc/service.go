@@ -802,12 +802,15 @@ func runStudy(ctx context.Context, p *Pool, factory MachineFactory, names []stri
 		ms[i] = m
 	}
 
+	// The whole grid goes through SubmitBatch in one group: one queue
+	// reservation per wave, memo/coalescing pre-filter up front, and
+	// per-worker machine reuse across cells of the same machine.
 	type cell struct {
 		machine string
 		kernel  core.KernelID
-		fut     *Future
 	}
 	var cells []cell
+	var tasks []Task
 	for _, name := range names {
 		for _, k := range core.Kernels() {
 			name, k := name, k
@@ -820,23 +823,26 @@ func runStudy(ctx context.Context, p *Pool, factory MachineFactory, names []stri
 			if h, err := spec.Hash(); err == nil {
 				key = h
 			}
-			fut, err := p.Submit(Task{
+			cells = append(cells, cell{machine: name, kernel: k})
+			tasks = append(tasks, Task{
 				Label:    fmt.Sprintf("%s/%s", name, k),
 				MemoKey:  key,
 				Priority: pr,
-				Run: func(context.Context) (core.Result, error) {
-					return runSpec(factory, spec)
+				Machine:  name,
+				Factory:  factory,
+				RunOn: func(_ context.Context, m core.Machine) (core.Result, error) {
+					return core.Run(m, k, w)
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell{machine: name, kernel: k, fut: fut})
 		}
 	}
+	futs, err := p.SubmitBatch(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
 	results := make(map[string]map[core.KernelID]core.Result)
-	for _, c := range cells {
-		r, err := c.fut.Wait(ctx)
+	for i, c := range cells {
+		r, err := futs[i].Wait(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("svc: %s on %s: %w", c.kernel, c.machine, err)
 		}

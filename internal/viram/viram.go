@@ -222,6 +222,15 @@ func (m *Machine) Params() core.Params {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Reset implements core.Resettable: it rewinds all simulation state so
+// the instance can be reused across jobs with bit-identical cycle
+// counts. Every kernel entry point performs the same rewind, so this is
+// a public contract over the existing mechanism, not a new one. The
+// program-construction scratch (progBuf, arena, bundles) is
+// intentionally untouched — it is overwritten from scratch by every
+// kernel build and never feeds cycle accounting.
+func (m *Machine) Reset() { m.reset() }
+
 // reset rewinds simulation state between kernel runs.
 func (m *Machine) reset() {
 	m.mem.Reset()

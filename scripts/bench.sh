@@ -2,12 +2,16 @@
 # bench.sh: run the performance-tracking benchmark set and emit a JSON
 # snapshot (default BENCH.json) for scripts/benchdiff.go.
 #
-# The set is split in two because the right benchtime differs:
+# The set is split in three because the right benchtime differs:
 #   - simulator benchmarks (Table 3 corner turn + CSLC): a handful of
 #     fixed iterations — each iteration is a full deterministic
 #     simulation, so more iterations only burn time;
 #   - service benchmarks (BenchmarkServiceThroughput): time-based, the
-#     usual regime for nanosecond-scale operations.
+#     usual regime for nanosecond-scale operations;
+#   - grid benchmarks (BenchmarkBatchGrid): one fixed iteration — each
+#     iteration drives a full 1,000-cell machine×kernel grid, and the
+#     sequential-jobs leg alone takes seconds, so time-based sampling
+#     would just rerun multi-second grids.
 #
 # Each benchmark runs -count times and benchdiff keeps the best (min
 # ns/op) run per benchmark: min-of-N filters out scheduler noise, which
@@ -16,9 +20,10 @@
 # runs regardless.
 #
 # Environment knobs:
-#   BENCH_COUNT   (default 3)     repetitions per benchmark (min is kept)
-#   SIM_BENCHTIME (default 20x)   benchtime for the simulator set
-#   SVC_BENCHTIME (default 0.5s)  benchtime for the service set
+#   BENCH_COUNT    (default 3)     repetitions per benchmark (min is kept)
+#   SIM_BENCHTIME  (default 20x)   benchtime for the simulator set
+#   SVC_BENCHTIME  (default 0.5s)  benchtime for the service set
+#   GRID_BENCHTIME (default 1x)    benchtime for the batch-grid set
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
@@ -32,6 +37,8 @@ go test -run='^$' -bench='Table3CornerTurn|Table3CSLC' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SIM_BENCHTIME:-20x}" . | tee "$tmp"
 go test -run='^$' -bench='ServiceThroughput|EstimateTier' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SVC_BENCHTIME:-0.5s}" . | tee -a "$tmp"
+go test -run='^$' -bench='BatchGrid' -benchmem \
+    -count="${BENCH_COUNT:-3}" -benchtime="${GRID_BENCHTIME:-1x}" . | tee -a "$tmp"
 
 go run scripts/benchdiff.go -emit "$tmp" > "$out"
 echo "wrote $out"
