@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos soak cluster-soak batch-soak overload-soak bench bench-smoke bench-json benchdiff clean
+.PHONY: all build vet test race check chaos soak cluster-soak batch-soak overload-soak dse-smoke bench bench-smoke bench-json benchdiff clean
 
 # soak sweeps the durability and chaos suites under the race detector
 # across a fixed seed matrix: journal frame/replay tests, svc crash and
@@ -96,6 +96,13 @@ overload-soak:
 			./cmd/simgate/... ./internal/svc/... ./internal/resilience/... ./internal/cluster/...; \
 	done
 
+# dse-smoke is the design-space-exploration gate: a small sweep through
+# a real simserved process, requiring the exploration's base point to
+# match /v1/tables/3 bit for bit and the VIRAM lanes sweep to improve
+# monotonically with a non-empty Pareto frontier.
+dse-smoke:
+	./scripts/dse_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -120,7 +127,7 @@ bench-json:
 # that cannot be noise.
 BENCH_TOL ?= 0.30
 benchdiff: bench-json
-	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR9.json BENCH.json
+	$(GO) run scripts/benchdiff.go -tol $(BENCH_TOL) BENCH_PR10.json BENCH.json
 
 clean:
 	$(GO) clean ./...

@@ -836,6 +836,104 @@ func BenchmarkBatchGrid(b *testing.B) {
 	})
 }
 
+// dseGridSpecs expands the benchmark exploration: a VIRAM corner-turn
+// base crossed over lanes x MVL, 16 design points. Expansion goes
+// through the real svc.DSERequest path so the benchmark covers axis
+// application, normalization, and config hashing — not hand-built
+// specs.
+func dseGridSpecs(b *testing.B) []svc.JobSpec {
+	b.Helper()
+	w := core.Workload{
+		CornerTurn: cornerturn.Spec{Rows: 128, Cols: 128, BlockSize: 16},
+		CSLC:       cslc.Spec{MainChannels: 1, AuxChannels: 1, Samples: 256, SubBands: 3, FFTSize: 64, Radix: fft.Radix4},
+		Beam:       beamsteer.Spec{Elements: 64, Directions: 2, Dwells: 2, ShiftBits: 2, Rounding: 2},
+	}
+	req := svc.DSERequest{
+		Base: svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w},
+		Axes: []svc.DSEAxis{
+			{Param: "viram.Lanes", Values: []int{2, 4, 8, 16}},
+			{Param: "viram.MVL", Values: []int{32, 64, 128, 256}},
+		},
+	}
+	designs, err := req.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]svc.JobSpec, len(designs))
+	for i, d := range designs {
+		specs[i] = d.Spec
+	}
+	return specs
+}
+
+// BenchmarkDSEGrid measures the design-space-exploration path: the
+// 16-point lanes x MVL sweep through the same batch fast path /v1/dse
+// uses, cold and memo-warm, plus the expansion machinery alone at the
+// 512-point cap. "sim-kcycles" is the sweep's summed simulated cycles
+// — identical across legs and runs, exact-gated by benchdiff.
+func BenchmarkDSEGrid(b *testing.B) {
+	specs := dseGridSpecs(b)
+	if len(specs) != 16 {
+		b.Fatalf("sweep has %d points, want 16", len(specs))
+	}
+
+	// Expansion alone at the point cap: 8x8x8 axis values = 512
+	// configs validated, canonicalized, and labeled — no simulation.
+	b.Run("expand-512", func(b *testing.B) {
+		vals := make([]int, 8)
+		for i := range vals {
+			vals[i] = i + 1
+		}
+		lanes := []int{1, 2, 3, 4, 6, 8, 12, 16}
+		req := svc.DSERequest{
+			Base: svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn},
+			Axes: []svc.DSEAxis{
+				{Param: "viram.Lanes", Values: lanes},
+				{Param: "viram.MVL", Values: []int{16, 32, 48, 64, 96, 128, 192, 256}},
+				{Param: "ppc.IssueWidth", Values: vals},
+			},
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			designs, err := req.Expand()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(designs) != 512 {
+				b.Fatalf("expanded %d points, want 512", len(designs))
+			}
+		}
+	})
+
+	b.Run("cold-16", func(b *testing.B) {
+		var sum uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := batchBenchService()
+			b.StartTimer()
+			sum = drainBatch(b, s, specs)
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+
+	b.Run("warm-memo-16", func(b *testing.B) {
+		s := batchBenchService()
+		defer s.Close()
+		drainBatch(b, s, specs) // warm every point
+		var sum uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum = drainBatch(b, s, specs)
+		}
+		b.ReportMetric(float64(sum)/1e3, "sim-kcycles")
+	})
+}
+
 // BenchmarkAblationVIRAMCornerTurnFormulation: strided loads + padding
 // (the paper's implementation) vs unit-stride loads with in-register
 // permutes.

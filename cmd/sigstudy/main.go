@@ -63,7 +63,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sigstudy: %v\n", err)
 			os.Exit(1)
 		}
-		factory = machines.FactoryFromConfigSet(set)
+		factory, err = machines.FactoryFromConfigSet(set)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigstudy: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	w := core.PaperWorkload()

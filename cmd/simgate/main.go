@@ -20,7 +20,17 @@
 // client sent none — so retries and reroutes are answered exactly
 // once. Shard failure reroutes along the ring; per-shard circuit
 // breakers stop hammering a dead backend; idempotent reads hedge to
-// the next candidate after -hedge-delay.
+// the next candidate after -hedge-delay. POST /v1/batch splits a grid
+// across the ring cell by cell; POST /v1/dse expands a design-space
+// exploration at the gateway, routes each design point by its
+// canonical spec hash, and merges the shard streams under one
+// gateway-computed Pareto frontier.
+//
+// Config safety: every /readyz probe records the shard's hardware
+// config-set hash. While ready shards disagree — say, one restarted
+// with a different -config — the write paths refuse with 503 (counted
+// as simgate_config_mismatch_total) rather than let the ring decide
+// which hardware answers a spec; reads keep flowing.
 //
 // Deadline budgets: an X-Deadline-Budget header (or, absent one, the
 // ?timeout= query) bounds the gateway's whole routing effort —

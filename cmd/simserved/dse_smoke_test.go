@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"sigkern/internal/core"
+	"sigkern/internal/svc"
+)
+
+// dsePost posts a DSERequest to the live daemon and decodes the NDJSON
+// stream into its point lines plus the final summary.
+func dsePost(t *testing.T, d *daemon, req svc.DSERequest) ([]svc.DSEPoint, svc.DSESummary) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.url+"/v1/dse", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/dse: status %d", resp.StatusCode)
+	}
+	var points []svc.DSEPoint
+	var sum svc.DSESummary
+	sawSummary := false
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatalf("bad stream line: %v", err)
+		}
+		var probe struct {
+			Index  *int `json:"index"`
+			Points *int `json:"points"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			t.Fatal(err)
+		}
+		if probe.Points != nil && probe.Index == nil {
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				t.Fatal(err)
+			}
+			sawSummary = true
+			continue
+		}
+		var pt svc.DSEPoint
+		if err := json.Unmarshal(raw, &pt); err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, pt)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return points, sum
+}
+
+// TestDSESmoke is the `make dse-smoke` gate against a real daemon
+// process: an empty exploration answers the paper cell bit-identically
+// to /v1/tables/3, and the VIRAM lanes sweep returns four distinct,
+// monotonically improving corner-turn cycle counts with a non-empty
+// Pareto frontier.
+func TestDSESmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, t.TempDir())
+
+	// The paper cell, from the table endpoint the DSE base must match.
+	resp, err := http.Get(d.url + "/v1/tables/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table struct {
+		Cycles map[string]map[core.KernelID]uint64 `json:"cycles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := table.Cycles["VIRAM"][core.CornerTurn]
+	if want == 0 {
+		t.Fatalf("table 3 has no VIRAM corner-turn cell: %+v", table.Cycles)
+	}
+
+	base := svc.JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn}
+	points, sum := dsePost(t, d, svc.DSERequest{Base: base})
+	if len(points) != 1 || points[0].State != svc.Done {
+		t.Fatalf("empty exploration points = %+v", points)
+	}
+	if points[0].Cycles != want {
+		t.Fatalf("DSE base point %d cycles, table 3 says %d", points[0].Cycles, want)
+	}
+	if len(sum.Frontier) != 1 {
+		t.Fatalf("empty exploration frontier = %+v", sum.Frontier)
+	}
+
+	points, sum = dsePost(t, d, svc.DSERequest{
+		Base: base,
+		Axes: []svc.DSEAxis{{Param: "viram.Lanes", Values: []int{2, 4, 8, 16}}},
+	})
+	if len(points) != 4 || sum.Failed != 0 {
+		t.Fatalf("sweep: %d points, summary %+v", len(points), sum)
+	}
+	byIndex := make(map[int]svc.DSEPoint, len(points))
+	for _, pt := range points {
+		if pt.State != svc.Done {
+			t.Fatalf("point %d (%s): %s %q", pt.Index, pt.Label, pt.State, pt.Error)
+		}
+		byIndex[pt.Index] = pt
+	}
+	var prev uint64
+	for i := 0; i < 4; i++ {
+		pt, ok := byIndex[i]
+		if !ok {
+			t.Fatalf("index %d missing: %+v", i, points)
+		}
+		if i > 0 && pt.Cycles >= prev {
+			t.Fatalf("index %d (%s): cycles %d did not improve on %d", i, pt.Label, pt.Cycles, prev)
+		}
+		prev = pt.Cycles
+	}
+	if byIndex[2].Cycles != want {
+		t.Fatalf("lanes=8 sweep point %d cycles, paper cell %d", byIndex[2].Cycles, want)
+	}
+	if len(sum.Frontier) == 0 {
+		t.Fatal("sweep summary has an empty Pareto frontier")
+	}
+}

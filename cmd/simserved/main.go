@@ -26,6 +26,13 @@
 //	                     cannot drain inside the budget are rejected 504
 //	                     up front, and queued jobs whose budget expires are
 //	                     dropped at pickup instead of burning a worker slot
+//	POST /v1/dse         design-space exploration: one base spec plus
+//	                     hardware-config deltas and/or named sweep axes
+//	                     ({"base":{...},"axes":[{"param":"viram.Lanes",
+//	                     "values":[2,4,8,16]}]}), expanded server-side,
+//	                     admitted as one batch group, streamed back as
+//	                     NDJSON per design point with a Pareto frontier
+//	                     (cycles vs area proxy) in the summary line
 //	GET  /v1/jobs        list jobs (?limit= page size, ?after= cursor)
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /v1/jobs/{id}/trace  job lifecycle trace (accepted/queued/started/...)
@@ -168,7 +175,12 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			return err
 		}
-		opts.Factory = machines.FactoryFromConfigSet(set)
+		factory, err := machines.FactoryFromConfigSet(set)
+		if err != nil {
+			return err
+		}
+		opts.Factory = factory
+		opts.ConfigHash = set.Hash()
 	}
 
 	var service *svc.Service

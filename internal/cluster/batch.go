@@ -37,6 +37,9 @@ type batchCell struct {
 // synthesized failed lines, never a dropped index. Per-shard summary
 // lines are swallowed and replaced with one merged summary.
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !g.guardConfigConsensus(w) {
+		return
+	}
 	cells, ok := g.readBatchCells(w, r)
 	if !ok {
 		return

@@ -22,6 +22,7 @@ type Metrics struct {
 	upstreamErrors   atomic.Uint64
 	breakerRejected  atomic.Uint64
 	budgetExhausted  atomic.Uint64
+	configMismatch   atomic.Uint64
 	rebalances       atomic.Uint64
 	rebalanceRecords atomic.Uint64
 
@@ -35,14 +36,18 @@ func NewMetrics() *Metrics {
 	return &Metrics{healthy: make(map[string]bool), ready: make(map[string]bool)}
 }
 
-func (m *Metrics) proxiedInc() uint64        { return m.proxied.Add(1) }
-func (m *Metrics) rerouteInc()               { m.reroutes.Add(1) }
-func (m *Metrics) hedgeInc()                 { m.hedges.Add(1) }
-func (m *Metrics) hedgeWinInc()              { m.hedgeWins.Add(1) }
-func (m *Metrics) upstreamErrorInc()         { m.upstreamErrors.Add(1) }
-func (m *Metrics) breakerRejectedInc()       { m.breakerRejected.Add(1) }
-func (m *Metrics) budgetExhaustedInc()       { m.budgetExhausted.Add(1) }
-func (m *Metrics) rebalanceDone(records int) { m.rebalances.Add(1); m.rebalanceRecords.Add(uint64(records)) }
+func (m *Metrics) proxiedInc() uint64  { return m.proxied.Add(1) }
+func (m *Metrics) rerouteInc()         { m.reroutes.Add(1) }
+func (m *Metrics) hedgeInc()           { m.hedges.Add(1) }
+func (m *Metrics) hedgeWinInc()        { m.hedgeWins.Add(1) }
+func (m *Metrics) upstreamErrorInc()   { m.upstreamErrors.Add(1) }
+func (m *Metrics) breakerRejectedInc() { m.breakerRejected.Add(1) }
+func (m *Metrics) budgetExhaustedInc() { m.budgetExhausted.Add(1) }
+func (m *Metrics) configMismatchInc()  { m.configMismatch.Add(1) }
+func (m *Metrics) rebalanceDone(records int) {
+	m.rebalances.Add(1)
+	m.rebalanceRecords.Add(uint64(records))
+}
 
 // setShardState records a probe verdict for the health gauges.
 func (m *Metrics) setShardState(shard string, alive, ready bool) {
@@ -67,6 +72,7 @@ type Snapshot struct {
 	UpstreamErrors   uint64          `json:"upstream_errors_total"`
 	BreakerRejected  uint64          `json:"breaker_rejected_total"`
 	BudgetExhausted  uint64          `json:"budget_exhausted_total"`
+	ConfigMismatch   uint64          `json:"config_mismatch_total"`
 	Rebalances       uint64          `json:"rebalances_total"`
 	RebalanceRecords uint64          `json:"rebalance_records_total"`
 	ShardHealthy     map[string]bool `json:"shard_healthy"`
@@ -83,6 +89,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		UpstreamErrors:   m.upstreamErrors.Load(),
 		BreakerRejected:  m.breakerRejected.Load(),
 		BudgetExhausted:  m.budgetExhausted.Load(),
+		ConfigMismatch:   m.configMismatch.Load(),
 		Rebalances:       m.rebalances.Load(),
 		RebalanceRecords: m.rebalanceRecords.Load(),
 		ShardHealthy:     make(map[string]bool),
@@ -113,6 +120,7 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"upstream_errors_total", s.UpstreamErrors},
 		{"breaker_rejected_total", s.BreakerRejected},
 		{"budget_exhausted_total", s.BudgetExhausted},
+		{"config_mismatch_total", s.ConfigMismatch},
 		{"rebalances_total", s.Rebalances},
 		{"rebalance_records_total", s.RebalanceRecords},
 	} {
@@ -146,6 +154,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"simgate_upstream_errors_total", "Transport-level failures talking to shards.", s.UpstreamErrors},
 		{"simgate_breaker_rejected_total", "Requests skipped past a shard with an open circuit breaker.", s.BreakerRejected},
 		{"simgate_budget_exhausted_total", "Requests answered 504 because their deadline budget ran out mid-route.", s.BudgetExhausted},
+		{"simgate_config_mismatch_total", "Writes refused 503 because ready shards reported different hardware config-set hashes.", s.ConfigMismatch},
 		{"simgate_rebalances_total", "WAL rebalances driven to completion.", s.Rebalances},
 		{"simgate_rebalance_records_total", "Jobs and memoized results replayed into successors by rebalance.", s.RebalanceRecords},
 	}

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -20,7 +22,13 @@ type ProbeState struct {
 	Alive bool `json:"alive"`
 	// Ready means /readyz said 200: not draining, not degraded — route
 	// new work here.
-	Ready       bool      `json:"ready"`
+	Ready bool `json:"ready"`
+	// ConfigHash is the hardware config-set hash the shard reported on
+	// its last probe (empty until a sweep lands, or for shards predating
+	// the field). Two ready shards reporting different hashes would
+	// return different cycles for the same job depending on routing, so
+	// the gateway refuses to route writes until they agree.
+	ConfigHash  string    `json:"config_hash,omitempty"`
 	LastError   string    `json:"last_error,omitempty"`
 	LastChecked time.Time `json:"last_checked"`
 }
@@ -113,9 +121,19 @@ func (p *Prober) probe(s Shard) {
 	if err != nil {
 		st.LastError = err.Error()
 	} else {
+		// The readiness body carries the shard's config-set hash either
+		// way (200 and 503 share the JSON shape); a body that fails to
+		// decode just leaves the hash unknown.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		st.Alive = true
 		st.Ready = resp.StatusCode == http.StatusOK
+		var rd struct {
+			ConfigHash string `json:"config_hash"`
+		}
+		if json.Unmarshal(body, &rd) == nil {
+			st.ConfigHash = rd.ConfigHash
+		}
 		if !st.Ready {
 			st.LastError = fmt.Sprintf("readyz status %d", resp.StatusCode)
 		}
@@ -161,6 +179,31 @@ func (p *Prober) Alive(name string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.state[name].Alive
+}
+
+// ConfigConsensus returns the hardware config-set hash shared by every
+// ready shard that has reported one, and whether the ready shards
+// agree. ok=false means a split cluster: two ready shards would answer
+// the same spec hash with different hardware, so the result of a job
+// would depend on which shard the ring picked — the gateway's write
+// paths refuse to route until the verdicts converge. Shards that have
+// not reported a hash yet (first sweep pending) do not break consensus.
+func (p *Prober) ConfigConsensus() (hash string, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range p.state {
+		if !st.Ready || st.ConfigHash == "" {
+			continue
+		}
+		if hash == "" {
+			hash = st.ConfigHash
+			continue
+		}
+		if st.ConfigHash != hash {
+			return "", false
+		}
+	}
+	return hash, true
 }
 
 // States returns a copy of every shard's probe state.

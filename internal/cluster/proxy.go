@@ -147,6 +147,12 @@ func (g *Gateway) Prober() *Prober { return g.prober }
 //	                         reroutes its unanswered cells to ring
 //	                         successors, and cells no shard could run
 //	                         come back as failed lines, never dropped
+//	POST /v1/dse             split a design-space exploration across the
+//	                         ring: the request is expanded at the gateway,
+//	                         each design point routed by its canonical
+//	                         spec hash, and shard streams merged back with
+//	                         one gateway-computed Pareto frontier in the
+//	                         final summary line
 //	GET  /v1/jobs/{id}       routed by the ID's shard prefix and hash
 //	GET  /v1/jobs/{id}/trace suffix; hedged across successors
 //	GET  /v1/jobs            forwarded to the first ready shard
@@ -158,10 +164,17 @@ func (g *Gateway) Prober() *Prober { return g.prober }
 //	GET  /metrics            gateway metrics (text, ?format=prometheus|json)
 //	GET  /healthz            gateway + per-shard probe state (503 when no
 //	GET  /readyz             shard is ready)
+//
+// Write paths (/v1/jobs, /v1/batch, /v1/dse) additionally refuse with
+// 503 — counting simgate_config_mismatch_total — while ready shards
+// report different hardware config-set hashes: a split-config cluster
+// would answer the same spec with different cycle counts depending on
+// routing.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
 	mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	mux.HandleFunc("POST /v1/dse", g.handleDSE)
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		g.handleJobGet(w, r, "")
 	})
@@ -313,6 +326,9 @@ func submitBudget(r *http.Request) (time.Duration, error) {
 // answers 504 instead of burning more attempts on a client that has
 // already given up.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !g.guardConfigConsensus(w) {
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeGatewayError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -653,7 +669,13 @@ type GatewayHealth struct {
 	AliveShards int                   `json:"alive_shards"`
 	TotalShards int                   `json:"total_shards"`
 	Shards      map[string]ProbeState `json:"shards"`
-	Time        string                `json:"time"`
+	// ConfigHash is the hardware config-set hash the ready shards agree
+	// on (empty until a probe sweep reports one). ConfigConsensus is
+	// false when ready shards disagree — the state in which the write
+	// paths answer 503 and simgate_config_mismatch_total counts up.
+	ConfigHash      string `json:"config_hash,omitempty"`
+	ConfigConsensus bool   `json:"config_consensus"`
+	Time            string `json:"time"`
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -663,6 +685,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		TotalShards: len(g.shards),
 		Time:        time.Now().UTC().Format(time.RFC3339),
 	}
+	h.ConfigHash, h.ConfigConsensus = g.prober.ConfigConsensus()
 	for _, st := range h.Shards {
 		if st.Alive {
 			h.AliveShards++
@@ -672,7 +695,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	status := http.StatusOK
-	if h.ReadyShards == 0 {
+	if h.ReadyShards == 0 || !h.ConfigConsensus {
 		h.Status = "degraded"
 		status = http.StatusServiceUnavailable
 	}

@@ -2,6 +2,8 @@ package machines
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -13,12 +15,16 @@ import (
 	"sigkern/internal/viram"
 )
 
-// ConfigSet bundles every machine's configuration so an experiment's
-// exact hardware parameters can be saved and reloaded. Zero-valued
-// sections fall back to the paper defaults.
+// ConfigSet bundles per-machine configuration overrides so an
+// experiment's exact hardware parameters can be saved, reloaded, and —
+// since configs participate in job identity — hashed. Absent sections
+// fall back to the paper defaults; present sections are complete
+// configurations (partial JSON sections are merged over the paper
+// defaults at decode time, so a section only ever overrides what it
+// names).
 type ConfigSet struct {
 	// PPC configures both baseline variants (the variant field itself is
-	// forced per machine when instantiating).
+	// forced per machine when instantiating and never serialized).
 	PPC     *ppc.Config     `json:"ppc,omitempty"`
 	VIRAM   *viram.Config   `json:"viram,omitempty"`
 	Imagine *imagine.Config `json:"imagine,omitempty"`
@@ -32,6 +38,93 @@ func DefaultConfigSet() ConfigSet {
 	i := imagine.DefaultConfig()
 	r := rawsim.DefaultConfig()
 	return ConfigSet{PPC: &p, VIRAM: &v, Imagine: &i, Raw: &r}
+}
+
+// UnmarshalJSON decodes a set with merge-over-defaults semantics: each
+// present section starts from the paper default and a partial JSON
+// object overrides only the fields it names. Unknown section names and
+// unknown fields within a section are rejected — typos in hand-edited
+// configs must surface instead of silently reverting to defaults.
+// (encoding/json's DisallowUnknownFields does not reach into custom
+// unmarshalers, so the strictness lives here.)
+func (c *ConfigSet) UnmarshalJSON(data []byte) error {
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(data, &sections); err != nil {
+		return err
+	}
+	*c = ConfigSet{}
+	for name, raw := range sections {
+		switch name {
+		case "ppc":
+			cfg := ppc.DefaultConfig(ppc.Scalar)
+			raw, err := stripPPCVariant(raw)
+			if err != nil {
+				return err
+			}
+			if err := strictMerge(raw, &cfg, name); err != nil {
+				return err
+			}
+			c.PPC = &cfg
+		case "viram":
+			cfg := viram.DefaultConfig()
+			if err := strictMerge(raw, &cfg, name); err != nil {
+				return err
+			}
+			c.VIRAM = &cfg
+		case "imagine":
+			cfg := imagine.DefaultConfig()
+			if err := strictMerge(raw, &cfg, name); err != nil {
+				return err
+			}
+			c.Imagine = &cfg
+		case "raw":
+			cfg := rawsim.DefaultConfig()
+			if err := strictMerge(raw, &cfg, name); err != nil {
+				return err
+			}
+			c.Raw = &cfg
+		default:
+			return fmt.Errorf("machines: unknown config section %q", name)
+		}
+	}
+	return nil
+}
+
+// strictMerge decodes a JSON object over an already-defaulted config,
+// rejecting unknown fields.
+func strictMerge(raw json.RawMessage, into any, section string) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("machines: config section %q: %w", section, err)
+	}
+	return nil
+}
+
+// stripPPCVariant handles the Variant key in a ppc section. The variant
+// is fixed per machine row (PPC gets Scalar, AltiVec gets AltiVec), so
+// a config cannot change it; older SaveConfigSet files serialized the
+// default value anyway, which stays accepted, while any attempt to
+// force a non-default variant is rejected with a clear error instead of
+// being silently overwritten at instantiation.
+func stripPPCVariant(raw json.RawMessage) (json.RawMessage, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("machines: config section \"ppc\": %w", err)
+	}
+	vr, ok := fields["Variant"]
+	if !ok {
+		return raw, nil
+	}
+	var v int
+	if err := json.Unmarshal(vr, &v); err != nil {
+		return nil, fmt.Errorf("machines: config section \"ppc\": Variant: %w", err)
+	}
+	if v != int(ppc.Scalar) {
+		return nil, fmt.Errorf("machines: config section \"ppc\": Variant is fixed per machine row (PPC/AltiVec) and cannot be overridden; remove %q", string(vr))
+	}
+	delete(fields, "Variant")
+	return json.Marshal(fields)
 }
 
 // Validate checks every present section.
@@ -59,57 +152,212 @@ func (c ConfigSet) Validate() error {
 	return nil
 }
 
+// Empty reports whether no section is present (every machine at its
+// paper default).
+func (c ConfigSet) Empty() bool {
+	return c.PPC == nil && c.VIRAM == nil && c.Imagine == nil && c.Raw == nil
+}
+
+// Canonical returns the set with every section that is byte-equal
+// (under JSON serialization) to the paper default dropped. Canonical
+// form is what participates in job identity: a set that spells out the
+// defaults must hash identically to one that omits them.
+func (c ConfigSet) Canonical() ConfigSet {
+	var out ConfigSet
+	if c.PPC != nil && !jsonEqual(*c.PPC, ppc.DefaultConfig(ppc.Scalar)) {
+		cp := *c.PPC
+		cp.Variant = ppc.Scalar
+		out.PPC = &cp
+	}
+	if c.VIRAM != nil && !jsonEqual(*c.VIRAM, viram.DefaultConfig()) {
+		cp := *c.VIRAM
+		out.VIRAM = &cp
+	}
+	if c.Imagine != nil && !jsonEqual(*c.Imagine, imagine.DefaultConfig()) {
+		cp := *c.Imagine
+		out.Imagine = &cp
+	}
+	if c.Raw != nil && !jsonEqual(*c.Raw, rawsim.DefaultConfig()) {
+		cp := *c.Raw
+		out.Raw = &cp
+	}
+	return out
+}
+
+func jsonEqual(a, b any) bool {
+	ja, err := json.Marshal(a)
+	if err != nil {
+		return false
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(ja, jb)
+}
+
+// Hash returns the hex SHA-256 of the canonical set's JSON — the
+// configuration component of job identity. The empty set (all paper
+// defaults) and a set spelling out the defaults hash identically.
+func (c ConfigSet) Hash() string {
+	data, err := json.Marshal(c.Canonical())
+	if err != nil {
+		// Config structs are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("machines: hashing config set: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// DefaultConfigHash is the Hash of the all-defaults set — what a
+// process with no -config flag serves.
+func DefaultConfigHash() string { return ConfigSet{}.Hash() }
+
+// instantiation returns the concrete config for one machine row, using
+// the paper default when the relevant section is absent.
+func (c ConfigSet) instantiation(name string) (any, error) {
+	switch name {
+	case "PPC", "AltiVec":
+		cfg := ppc.DefaultConfig(ppc.Scalar)
+		if c.PPC != nil {
+			cfg = *c.PPC
+		}
+		if name == "AltiVec" {
+			cfg.Variant = ppc.AltiVec
+		} else {
+			cfg.Variant = ppc.Scalar
+		}
+		return cfg, nil
+	case "VIRAM":
+		cfg := viram.DefaultConfig()
+		if c.VIRAM != nil {
+			cfg = *c.VIRAM
+		}
+		return cfg, nil
+	case "Imagine":
+		cfg := imagine.DefaultConfig()
+		if c.Imagine != nil {
+			cfg = *c.Imagine
+		}
+		return cfg, nil
+	case "Raw":
+		cfg := rawsim.DefaultConfig()
+		if c.Raw != nil {
+			cfg = *c.Raw
+		}
+		return cfg, nil
+	}
+	return nil, fmt.Errorf("machines: unknown machine %q", name)
+}
+
+// Machine constructs the single named machine from the set, validating
+// only the configuration it actually uses. Only that machine is built —
+// this is the per-job hot path for config-carrying specs.
+func (c ConfigSet) Machine(name string) (core.Machine, error) {
+	cfg, err := c.instantiation(name)
+	if err != nil {
+		return nil, err
+	}
+	switch cc := cfg.(type) {
+	case ppc.Config:
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		return ppc.New(cc), nil
+	case viram.Config:
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		return viram.New(cc), nil
+	case imagine.Config:
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		return imagine.New(cc), nil
+	case rawsim.Config:
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		return rawsim.New(cc), nil
+	}
+	return nil, fmt.Errorf("machines: unknown machine %q", name)
+}
+
+// AreaProxy returns a dimensionless silicon-area stand-in for one
+// machine under the set — the second axis of a design-space Pareto
+// frontier (cycles vs. area). The proxies deliberately track only the
+// dominant scalable resource of each architecture: VIRAM lanes x MVL
+// (vector datapath), Imagine clusters x SRF KB (ALU array plus stream
+// register file), Raw mesh width x height (tiles), PPC/AltiVec issue
+// width x L2 KB. desc names the formula so responses are
+// self-describing.
+func (c ConfigSet) AreaProxy(name string) (value float64, desc string, err error) {
+	cfg, err := c.instantiation(name)
+	if err != nil {
+		return 0, "", err
+	}
+	switch cc := cfg.(type) {
+	case ppc.Config:
+		return float64(cc.IssueWidth) * float64(cc.L2.SizeBytes) / 1024, "IssueWidth x L2 KB", nil
+	case viram.Config:
+		return float64(cc.Lanes) * float64(cc.MVL), "Lanes x MVL", nil
+	case imagine.Config:
+		return float64(cc.Clusters) * float64(cc.SRF.CapacityBytes) / 1024, "Clusters x SRF KB", nil
+	case rawsim.Config:
+		return float64(cc.Mesh.Width) * float64(cc.Mesh.Height), "Mesh tiles", nil
+	}
+	return 0, "", fmt.Errorf("machines: unknown machine %q", name)
+}
+
 // Machines instantiates the five study machines from the set, using
 // paper defaults for absent sections.
 func (c ConfigSet) Machines() ([]core.Machine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	scalar := ppc.DefaultConfig(ppc.Scalar)
-	vector := ppc.DefaultConfig(ppc.AltiVec)
-	if c.PPC != nil {
-		scalar = *c.PPC
-		scalar.Variant = ppc.Scalar
-		vector = *c.PPC
-		vector.Variant = ppc.AltiVec
+	out := make([]core.Machine, 0, len(Names()))
+	for _, name := range Names() {
+		m, err := c.Machine(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
 	}
-	vcfg := viram.DefaultConfig()
-	if c.VIRAM != nil {
-		vcfg = *c.VIRAM
-	}
-	icfg := imagine.DefaultConfig()
-	if c.Imagine != nil {
-		icfg = *c.Imagine
-	}
-	rcfg := rawsim.DefaultConfig()
-	if c.Raw != nil {
-		rcfg = *c.Raw
-	}
-	return []core.Machine{
-		ppc.New(scalar),
-		ppc.New(vector),
-		viram.New(vcfg),
-		imagine.New(icfg),
-		rawsim.New(rcfg),
-	}, nil
+	return out, nil
 }
 
 // FactoryFromConfigSet returns a by-name machine constructor over the
 // set's configurations — the shape the simulation service's worker pool
-// wants, where every job gets a fresh (stateful) machine instance.
-func FactoryFromConfigSet(set ConfigSet) func(name string) (core.Machine, error) {
+// wants, where every job gets a fresh (stateful) machine instance. The
+// set is validated exactly once, here; each lookup then constructs only
+// the requested machine, so -config deployments pay the same per-job
+// cost as default ones.
+func FactoryFromConfigSet(set ConfigSet) (func(name string) (core.Machine, error), error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	// Resolve the five instantiation configs up front; the closure does
+	// pure construction.
+	scalar, _ := set.instantiation("PPC")
+	vector, _ := set.instantiation("AltiVec")
+	vcfg, _ := set.instantiation("VIRAM")
+	icfg, _ := set.instantiation("Imagine")
+	rcfg, _ := set.instantiation("Raw")
 	return func(name string) (core.Machine, error) {
-		ms, err := set.Machines()
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range ms {
-			if m.Name() == name {
-				return m, nil
-			}
+		switch name {
+		case "PPC":
+			return ppc.New(scalar.(ppc.Config)), nil
+		case "AltiVec":
+			return ppc.New(vector.(ppc.Config)), nil
+		case "VIRAM":
+			return viram.New(vcfg.(viram.Config)), nil
+		case "Imagine":
+			return imagine.New(icfg.(imagine.Config)), nil
+		case "Raw":
+			return rawsim.New(rcfg.(rawsim.Config)), nil
 		}
 		return nil, fmt.Errorf("machines: unknown machine %q", name)
-	}
+	}, nil
 }
 
 // SaveConfigSet writes the set as indented JSON.
@@ -122,17 +370,15 @@ func SaveConfigSet(path string, c ConfigSet) error {
 }
 
 // LoadConfigSet reads a set written by SaveConfigSet (or hand-edited).
-// Unknown fields are rejected so typos in hand-edited configs surface
-// instead of silently reverting to defaults.
+// Partial sections merge over paper defaults; unknown fields are
+// rejected so typos surface instead of silently reverting to defaults.
 func LoadConfigSet(path string) (ConfigSet, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return ConfigSet{}, err
 	}
 	var c ConfigSet
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&c); err != nil {
+	if err := json.Unmarshal(data, &c); err != nil {
 		return ConfigSet{}, fmt.Errorf("machines: parsing %s: %w", path, err)
 	}
 	if err := c.Validate(); err != nil {

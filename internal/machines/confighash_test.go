@@ -1,0 +1,128 @@
+package machines
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadConfigSetBytes mirrors LoadConfigSet without the file.
+func loadConfigSetBytes(s string) (ConfigSet, error) {
+	var c ConfigSet
+	if err := json.Unmarshal([]byte(s), &c); err != nil {
+		return c, err
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// The factory must validate once at build time and construct only the
+// requested machine per lookup — the old implementation built all five
+// machines and re-validated the whole set on every call, which showed
+// up as ~5x the allocations of machines.ByName.
+func TestFactoryFromConfigSetAllocs(t *testing.T) {
+	set, err := loadConfigSetBytes(`{"viram": {"MVL": 128}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := FactoryFromConfigSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := testing.AllocsPerRun(50, func() {
+		if _, err := ByName("PPC"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	configured := testing.AllocsPerRun(50, func() {
+		if _, err := factory("PPC"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Identical construction path — allow a tiny slack for interface
+	// plumbing, nothing close to a second machine's worth.
+	if configured > baseline+4 {
+		t.Fatalf("configured factory allocates %v/op vs ByName %v/op — is it rebuilding the whole set?", configured, baseline)
+	}
+}
+
+func TestConfigSetHashIdentity(t *testing.T) {
+	empty := ConfigSet{}.Hash()
+	if got := DefaultConfigSet().Hash(); got != empty {
+		t.Fatalf("spelled-out defaults hash %s != empty-set hash %s", got, empty)
+	}
+	if got := DefaultConfigHash(); got != empty {
+		t.Fatalf("DefaultConfigHash %s != empty-set hash %s", got, empty)
+	}
+	v := DefaultConfigSet().VIRAM
+	v.DRAM.AddrGens = 8
+	override := ConfigSet{VIRAM: v}
+	if override.Hash() == empty {
+		t.Fatal("distinct override hashes like the default set")
+	}
+	v2 := *v
+	v2.DRAM.AddrGens = 2
+	if (ConfigSet{VIRAM: &v2}).Hash() == override.Hash() {
+		t.Fatal("different AddrGens values hash identically")
+	}
+	// Canonical drops default-equal sections so irrelevant spelled-out
+	// defaults cannot perturb identity.
+	p := DefaultConfigSet().PPC
+	mixed := ConfigSet{PPC: p, VIRAM: v}
+	if mixed.Hash() != override.Hash() {
+		t.Fatal("default-equal ppc section changed the hash")
+	}
+	if c := mixed.Canonical(); c.PPC != nil || c.VIRAM == nil {
+		t.Fatalf("canonical form wrong: %+v", c)
+	}
+}
+
+func TestConfigSetPartialSectionMergesOverDefaults(t *testing.T) {
+	set, err := loadConfigSetBytes(`{"viram": {"MVL": 128}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.VIRAM == nil || set.VIRAM.MVL != 128 {
+		t.Fatalf("override lost: %+v", set.VIRAM)
+	}
+	def := DefaultConfigSet().VIRAM
+	if set.VIRAM.Lanes != def.Lanes || set.VIRAM.DRAM.AddrGens != def.DRAM.AddrGens {
+		t.Fatalf("unmentioned fields did not default: %+v", set.VIRAM)
+	}
+	// Unknown fields inside a section are still rejected (strictness
+	// survives the custom unmarshaler).
+	if _, err := loadConfigSetBytes(`{"viram": {"Lannes": 4}}`); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestConfigSetVariantHandling(t *testing.T) {
+	// Old SaveConfigSet files carried the default Variant; they must
+	// keep loading.
+	if _, err := loadConfigSetBytes(`{"ppc": {"Variant": 0}}`); err != nil {
+		t.Fatalf("default Variant rejected: %v", err)
+	}
+	// Forcing a non-default variant was silently ignored before; now it
+	// is a clear error.
+	_, err := loadConfigSetBytes(`{"ppc": {"Variant": 1}}`)
+	if err == nil || !strings.Contains(err.Error(), "Variant") {
+		t.Fatalf("non-default Variant not rejected clearly: %v", err)
+	}
+	// New saves omit the field entirely.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := SaveConfigSet(path, DefaultConfigSet()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Variant") {
+		t.Fatal("Variant leaked into SaveConfigSet output")
+	}
+}

@@ -51,7 +51,10 @@ func (v Variant) String() string {
 
 // Config parameterizes the machine model.
 type Config struct {
-	Variant  Variant
+	// Variant is fixed per machine row at instantiation (the PPC row is
+	// always Scalar, the AltiVec row always AltiVec), so it is excluded
+	// from serialization: a saved config cannot flip a row's variant.
+	Variant  Variant `json:"-"`
 	ClockMHz float64
 	// IssueWidth is the sustained instructions per cycle ceiling.
 	IssueWidth int

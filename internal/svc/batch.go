@@ -280,9 +280,13 @@ func (s *Service) SubmitBatch(ctx context.Context, specs []JobSpec, opts BatchOp
 			// The machine-reuse path: the worker resolves an instance
 			// from its cache and RunOn is a pure function of (spec,
 			// instance), so the reuse-sampling guard may re-run it on a
-			// fresh instance for verification.
-			Machine: norm.Machine,
-			Factory: s.factory,
+			// fresh instance for verification. Config-carrying cells get
+			// a per-spec factory and a config hash that keys the reuse
+			// cache, so a design-space batch can never hand a cell an
+			// instance built for different hardware.
+			Machine:    norm.Machine,
+			Factory:    s.factoryFor(norm),
+			ConfigHash: norm.ConfigHash(),
 			RunOn: func(_ context.Context, m core.Machine) (core.Result, error) {
 				return core.Run(m, norm.Kernel, *norm.Workload)
 			},

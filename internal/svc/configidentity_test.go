@@ -1,0 +1,244 @@
+package svc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sigkern/internal/core"
+	"sigkern/internal/machines"
+)
+
+// lanesDelta returns a VIRAM config override with the lanes datapath
+// scaled to n (the viram.Lanes axis expansion, spelled by hand).
+func lanesDelta(t *testing.T, n int) *machines.ConfigSet {
+	t.Helper()
+	set := machines.DefaultConfigSet()
+	v := *set.VIRAM
+	v.Lanes = n
+	v.FPLanes = n
+	v.DRAM.SeqWordsPerCycle = n
+	v.DRAM.AddrGens = n / 2
+	if v.DRAM.AddrGens < 1 {
+		v.DRAM.AddrGens = 1
+	}
+	return &machines.ConfigSet{VIRAM: &v}
+}
+
+// TestSpecConfigHashIdentity pins the tentpole's identity contract at
+// the spec level: no override, a default-equal override, and an
+// override for a machine the spec does not run all hash byte-identical
+// to a legacy spec; a real override hashes distinctly.
+func TestSpecConfigHashIdentity(t *testing.T) {
+	base := JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn}
+	legacy, err := base.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyHash, err := legacy.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("default-equal override collapses", func(t *testing.T) {
+		spec := base
+		set := machines.DefaultConfigSet()
+		spec.Config = &set
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Config != nil {
+			t.Fatalf("default-equal config survived: %+v", norm.Config)
+		}
+		h, _ := norm.Hash()
+		if h != legacyHash {
+			t.Fatalf("hash %s != legacy %s", h, legacyHash)
+		}
+	})
+
+	t.Run("irrelevant section collapses", func(t *testing.T) {
+		spec := base
+		ppcCfg := *machines.DefaultConfigSet().PPC
+		ppcCfg.IssueWidth = 4
+		spec.Config = &machines.ConfigSet{PPC: &ppcCfg}
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Config != nil {
+			t.Fatalf("PPC override survived on a VIRAM spec: %+v", norm.Config)
+		}
+		h, _ := norm.Hash()
+		if h != legacyHash {
+			t.Fatalf("hash %s != legacy %s", h, legacyHash)
+		}
+	})
+
+	t.Run("real override hashes distinctly", func(t *testing.T) {
+		spec := base
+		spec.Config = lanesDelta(t, 4)
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Config == nil {
+			t.Fatal("real override normalized away")
+		}
+		h, _ := norm.Hash()
+		if h == legacyHash {
+			t.Fatal("lanes=4 override hashed like the paper default")
+		}
+		other := base
+		other.Config = lanesDelta(t, 2)
+		onorm, _ := other.Normalize()
+		oh, _ := onorm.Hash()
+		if oh == h || oh == legacyHash {
+			t.Fatalf("lanes=2 hash %s collides", oh)
+		}
+	})
+}
+
+// TestNoCrossConfigCacheHits is the wrong-config regression suite: the
+// same (machine, kernel, workload) under different hardware configs
+// must never share a memo entry, join the same coalesce group, or —
+// the PR 9 hazard — reuse a cached per-worker machine instance built
+// for other hardware. One worker forces every job through the same
+// reuse cache; run under -race this is also the config path's data-race
+// check.
+func TestNoCrossConfigCacheHits(t *testing.T) {
+	s := NewService(Options{Pool: PoolOptions{
+		Workers: 1,
+		// Sample aggressively: every reuse re-runs on a fresh instance
+		// and compares cycles, so a key collision across configs would
+		// surface as ErrDeterminism, not a silent wrong answer.
+		ReuseSampleEvery: 2,
+		JobTimeout:       time.Minute,
+	}})
+	defer s.Close()
+
+	configs := []*machines.ConfigSet{nil, lanesDelta(t, 2), lanesDelta(t, 16)}
+	const rounds = 6
+
+	// One batch interleaving the three hardware variants through the one
+	// worker — the reuse cache is the batch fast path, so this drives
+	// the exact PR 9 hazard: each round uses a fresh workload (no memo
+	// short-circuit), and the same config recurs across rounds so cached
+	// instances are really reused while the variants alternate.
+	var specs []JobSpec
+	for round := 0; round < rounds; round++ {
+		for ci := range configs {
+			w := smallWorkload()
+			w.CornerTurn.Cols = 32 * (round + 1)
+			specs = append(specs, JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w, Config: configs[ci]})
+		}
+	}
+	run, err := s.SubmitBatch(context.Background(), specs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := make([]uint64, len(specs))
+	for br := range run.Results() {
+		if br.State != Done || br.Result == nil {
+			t.Fatalf("cell %d: state %s error %q", br.Index, br.State, br.Error)
+		}
+		cycles[br.Index] = br.Result.Cycles
+	}
+
+	// Within every round the three hardware variants ran the same
+	// workload: a cross-config memo hit, coalesce join, or reuse-cache
+	// collision would collapse two of the three cycle counts.
+	for round := 0; round < rounds; round++ {
+		a, b, c := cycles[3*round], cycles[3*round+1], cycles[3*round+2]
+		if a == b || a == c || b == c {
+			t.Fatalf("round %d: config variants share cycle counts: %d %d %d", round, a, b, c)
+		}
+	}
+
+	// The determinism guard re-ran sampled reuses on fresh instances and
+	// compared cycles: a reuse-cache key collision across configs would
+	// have tripped it, failing those jobs. Zero trips plus reuses > 0
+	// means instances were actually reused — under the composed
+	// (machine, config-hash) key, never across hardware.
+	snap := s.Metrics().Snapshot()
+	if snap.Determinism != 0 {
+		t.Fatalf("determinism guard tripped %d times", snap.Determinism)
+	}
+	if snap.MachineReuses == 0 {
+		t.Fatal("no machine instance was ever reused; the test exercised nothing")
+	}
+}
+
+// TestDurableReplayRestoresConfigJob: a config-carrying job's spec —
+// override included — rides the WAL, so a crash and replay restores
+// the job with bit-identical cycles and re-seeds the memo under the
+// config-aware hash.
+func TestDurableReplayRestoresConfigJob(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, durableOpts())
+	w := smallWorkload()
+	spec := JobSpec{Machine: "VIRAM", Kernel: core.CornerTurn, Workload: &w, Config: lanesDelta(t, 2)}
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := spec
+	legacy.Config = nil
+	legacyJob, err := s.Submit(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyDone, err := s.Wait(context.Background(), legacyJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyDone.Result.Cycles == done.Result.Cycles {
+		t.Fatalf("override did not change cycles (%d)", done.Result.Cycles)
+	}
+	crash(s)
+
+	s2 := openDurable(t, dir, durableOpts())
+	defer s2.Close()
+	got, ok := s2.Job(done.ID)
+	if !ok {
+		t.Fatalf("config job %s lost in the crash", done.ID)
+	}
+	if got.State != Done || got.Result == nil || got.Result.Cycles != done.Result.Cycles {
+		t.Fatalf("replayed as %+v, want cycles %d", got, done.Result.Cycles)
+	}
+	if got.Spec.Config == nil || got.Spec.ConfigHash() != spec.Config.Hash() {
+		t.Fatalf("replayed spec lost its config: %+v", got.Spec)
+	}
+	// The memo came back under the config-aware hash: resubmitting both
+	// variants is served from cache with their own — distinct — cycles.
+	again, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againDone, err := s2.Wait(context.Background(), again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !againDone.FromCache && againDone.ID == "" {
+		t.Fatalf("resubmit = %+v", againDone)
+	}
+	if againDone.Result.Cycles != done.Result.Cycles {
+		t.Fatalf("config resubmit cycles %d, want %d", againDone.Result.Cycles, done.Result.Cycles)
+	}
+	legacyAgain, err := s2.Submit(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyAgainDone, err := s2.Wait(context.Background(), legacyAgain.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyAgainDone.Result.Cycles != legacyDone.Result.Cycles {
+		t.Fatalf("legacy resubmit cycles %d, want %d", legacyAgainDone.Result.Cycles, legacyDone.Result.Cycles)
+	}
+}

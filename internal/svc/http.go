@@ -73,6 +73,15 @@ const StatusClientClosedRequest = 499
 //	                         line number; more than MaxBatchCells cells
 //	                         or a body over 16 MiB is 413. Disconnecting
 //	                         cancels only cells that have not started.
+//	POST /v1/dse             design-space exploration: one base spec
+//	                         plus config deltas and/or named sweep axes
+//	                         (see DSERequest), expanded server-side and
+//	                         admitted as one batch group. Per-point
+//	                         results stream back as application/x-ndjson
+//	                         in completion order; the final summary line
+//	                         carries the Pareto frontier over simulated
+//	                         cycles vs the machine's area proxy. More
+//	                         than MaxDSEPoints points is 413.
 //	GET  /v1/jobs            list tracked jobs
 //	GET  /v1/jobs/{id}       one job's status and result
 //	GET  /v1/jobs/{id}/trace the job's lifecycle trace (span events)
@@ -99,6 +108,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/dse", s.handleDSE)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -234,8 +244,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// The deadline budget is what remains of the caller's end-to-end
 	// deadline — set by the gateway (decremented across reroutes) or the
-	// client directly. Absent, the wait timeout doubles as the budget:
-	// a client waiting 30s has no use for an answer admitted later.
+	// client directly. Absent, the wait timeout doubles as the budget —
+	// a client waiting 30s has no use for an answer admitted later —
+	// plus a grace second so the budget can never beat the wait itself
+	// to the deadline: the client's expiry must surface as the wait's
+	// 504, not as a job the budget clamp killed a poll tick earlier.
 	budgetHdr := r.Header.Get("X-Deadline-Budget")
 	budget, err := resilience.ParseTimeout(budgetHdr, maxRequestTimeout)
 	if err != nil {
@@ -247,8 +260,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if budget <= 0 {
-		budget = reqTimeout
+	if budget <= 0 && reqTimeout > 0 {
+		budget = reqTimeout + time.Second
 	}
 	tierParam := r.URL.Query().Get("tier")
 	tier, err := ParseTier(tierParam)
@@ -509,6 +522,12 @@ type Health struct {
 	Brownout resilience.BrownoutStats `json:"brownout"`
 	// Faults reports fired fault-injection counts when chaos is armed.
 	Faults map[string]uint64 `json:"faults_fired,omitempty"`
+	// ConfigHash identifies the hardware config-set this process was
+	// started with (machines.ConfigSet.Hash of the -config file, or the
+	// paper-default hash). The cluster gateway compares it across shards:
+	// two shards answering the same spec hash with different hardware
+	// would silently disagree on cycles.
+	ConfigHash string `json:"config_hash,omitempty"`
 	// Journal reports the durability state when the service journals
 	// (nil otherwise): append lag, last-fsync age, truncated-frame
 	// counts, and what startup replay restored.
@@ -535,6 +554,7 @@ func (s *Service) Healthz() Health {
 		QueueCap:   s.pool.QueueCap(),
 		Breakers:   s.breakers.States(),
 		Faults:     s.pool.Faults().Snapshot(),
+		ConfigHash: s.configHash,
 		Time:       time.Now().UTC().Format(time.RFC3339),
 	}
 	// Feed the brownout controller from the health probe too: a service
@@ -585,25 +605,31 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // of the split — a gateway stops routing to a draining shard without
 // the health prober declaring it dead.
 type Readiness struct {
-	Ready    bool   `json:"ready"`
-	Draining bool   `json:"draining"`
-	Degraded bool   `json:"degraded"`
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Degraded bool `json:"degraded"`
 	// Brownout is true while ?tier=auto requests are being answered
 	// from the estimate tier. A browned-out shard stays ready — it is
 	// answering, just at reduced fidelity — so gateways keep routing to
 	// it instead of concentrating load on the remaining shards.
 	Brownout bool   `json:"brownout,omitempty"`
 	Shard    string `json:"shard,omitempty"`
-	Reason   string `json:"reason,omitempty"`
+	// ConfigHash identifies the hardware config-set this process was
+	// started with; the gateway's prober records it and refuses to route
+	// while ready shards disagree (a split-config cluster would return
+	// different cycles for the same job depending on routing).
+	ConfigHash string `json:"config_hash,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // Readiness assembles the readiness snapshot.
 func (s *Service) Readiness() Readiness {
 	rd := Readiness{
-		Draining: s.Draining(),
-		Degraded: s.Healthz().Degraded,
-		Brownout: s.Metrics().BrownoutActive(),
-		Shard:    s.shardID,
+		Draining:   s.Draining(),
+		Degraded:   s.Healthz().Degraded,
+		Brownout:   s.Metrics().BrownoutActive(),
+		Shard:      s.shardID,
+		ConfigHash: s.configHash,
 	}
 	switch {
 	case rd.Draining:

@@ -31,6 +31,27 @@ type JobSpec struct {
 	// of the requested kernel matters for the run, but the whole
 	// workload participates in the hash so normalization stays simple.
 	Workload *core.Workload `json:"workload,omitempty"`
+	// Config overrides the machine's hardware parameters when present (a
+	// machines.ConfigSet-shaped delta; partial sections merge over paper
+	// defaults at decode time). It participates in the canonical hash,
+	// so two specs differing only in hardware are different jobs.
+	// Normalize reduces it to canonical form — sections equal to the
+	// paper default are dropped and only the section for this spec's
+	// machine is kept — so a spec with no override, or one spelling out
+	// the defaults, hashes byte-identically to a legacy spec.
+	Config *machines.ConfigSet `json:"config,omitempty"`
+}
+
+// ConfigHash returns the identity hash of the spec's config override:
+// machines.ConfigSet.Hash of the override, or the empty string when the
+// spec runs paper defaults. It keys the per-worker machine-reuse cache
+// alongside the machine name, so a reused instance can never carry the
+// wrong hardware parameters.
+func (s JobSpec) ConfigHash() string {
+	if s.Config == nil {
+		return ""
+	}
+	return s.Config.Hash()
 }
 
 // Normalize validates the spec against the known machines and kernels
@@ -59,6 +80,31 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if err := s.Workload.Validate(); err != nil {
 		return JobSpec{}, err
+	}
+	if s.Config != nil {
+		if err := s.Config.Validate(); err != nil {
+			return JobSpec{}, fmt.Errorf("svc: config override: %w", err)
+		}
+		canon := s.Config.Canonical()
+		// Keep only the section this spec's machine reads: overrides for
+		// other machines cannot change the result, so they must not
+		// change the identity either.
+		var kept machines.ConfigSet
+		switch s.Machine {
+		case "PPC", "AltiVec":
+			kept.PPC = canon.PPC
+		case "VIRAM":
+			kept.VIRAM = canon.VIRAM
+		case "Imagine":
+			kept.Imagine = canon.Imagine
+		case "Raw":
+			kept.Raw = canon.Raw
+		}
+		if kept.Empty() {
+			s.Config = nil
+		} else {
+			s.Config = &kept
+		}
 	}
 	return s, nil
 }
@@ -125,11 +171,11 @@ type Job struct {
 	// Estimate carries the full analytic breakdown (compute bound,
 	// memory bound, intensity) on estimate-tier jobs; nil on simulated
 	// ones.
-	Estimate *roofline.Estimate `json:"estimate,omitempty"`
-	Error    string             `json:"error,omitempty"`
-	Submitted time.Time    `json:"submitted"`
-	Started   time.Time    `json:"started"`
-	Finished  time.Time    `json:"finished"`
+	Estimate  *roofline.Estimate `json:"estimate,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Submitted time.Time          `json:"submitted"`
+	Started   time.Time          `json:"started"`
+	Finished  time.Time          `json:"finished"`
 	// Trace is the job's span-style lifecycle record: timestamped
 	// accepted/queued/started/retried/terminal transitions, served by
 	// GET /v1/jobs/{id}/trace and persisted in journal snapshots so it

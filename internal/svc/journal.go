@@ -243,7 +243,10 @@ func (s *Service) enqueue(id string, spec JobSpec, hash string) error {
 		},
 		Run: func(context.Context) (core.Result, error) {
 			s.markRunning(id)
-			return runSpec(s.factory, spec)
+			// The journaled spec carries its config override, so replay
+			// re-runs it on the same hardware parameters it was accepted
+			// with — never the process default.
+			return runSpec(s.factoryFor(spec), spec)
 		},
 	}
 	fut, err := s.pool.Submit(task)

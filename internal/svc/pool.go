@@ -96,7 +96,14 @@ type Task struct {
 	// Exactly one of Run and RunOn must be set.
 	Machine string
 	Factory MachineFactory
-	RunOn   func(ctx context.Context, m core.Machine) (core.Result, error)
+	// ConfigHash qualifies Machine in the per-worker instance cache:
+	// tasks running non-default hardware parameters (config-carrying
+	// specs) must never be handed an instance built for a different
+	// configuration, so cache entries and reuse-sampling counters are
+	// keyed by (Machine, ConfigHash). Empty means paper defaults.
+	// Factory must construct instances matching this hash.
+	ConfigHash string
+	RunOn      func(ctx context.Context, m core.Machine) (core.Result, error)
 	// OnStart, when set, is called once from the worker goroutine at
 	// pickup, before the first attempt — not per retry, and never for
 	// cells answered by the memo or coalescing pre-filter.
@@ -108,6 +115,12 @@ type Task struct {
 	// cancels only unstarted cells.
 	Abort <-chan struct{}
 }
+
+// instanceKey is the per-worker machine-cache key: the machine name
+// qualified by the config hash, so instances built under different
+// hardware parameters can never be confused. The NUL separator cannot
+// occur in either component.
+func (t *Task) instanceKey() string { return t.Machine + "\x00" + t.ConfigHash }
 
 // validate checks the task's execution-path invariants before admission.
 func (t *Task) validate() error {
@@ -629,7 +642,8 @@ func (p *Pool) Close() {
 }
 
 // workerState is one worker's private execution state: the machine
-// instance cache (simulator instances keyed by machine name, reused
+// instance cache (simulator instances keyed by machine name plus config
+// hash — see Task.instanceKey — reused
 // across jobs so a 1,000-cell grid pays construction once per worker
 // and machine instead of once per cell) and the per-machine counters
 // that drive reuse-determinism sampling. Owned by the worker goroutine
@@ -771,11 +785,11 @@ func (p *Pool) execute(item poolItem, ws *workerState) {
 	// completely (every kernel entry resets), so a mismatch means a
 	// Reset that leaked state — surfaced as a hard ErrDeterminism, with
 	// reuse quarantined pool-wide, never a silently wrong number.
-	if err == nil && reused && p.sampleReuse(ws, item.task.Machine) {
+	if err == nil && reused && p.sampleReuse(ws, item.task.instanceKey()) {
 		if verr := p.verifyReuse(ctx, item.task, res); verr != nil {
 			err = verr
 			p.reuseOff.Store(true)
-			p.evictMachine(ws, item.task.Machine)
+			p.evictMachine(ws, item.task.instanceKey())
 		}
 	}
 
@@ -860,12 +874,12 @@ func (p *Pool) runAttempt(ctx context.Context, t Task, ws *workerState) (core.Re
 	case out := <-ch:
 		if t.RunOn != nil {
 			if out.err == nil {
-				p.cacheMachine(ws, t.Machine, m)
+				p.cacheMachine(ws, t.instanceKey(), m)
 			} else {
 				// A failed or panicked attempt leaves the instance in an
 				// unknown state; drop it rather than hand it to the next
 				// task.
-				p.evictMachine(ws, t.Machine)
+				p.evictMachine(ws, t.instanceKey())
 			}
 		}
 		return out.res, reused, out.err
@@ -874,7 +888,7 @@ func (p *Pool) runAttempt(ctx context.Context, t Task, ws *workerState) (core.Re
 			// The abandoned attempt keeps running on m in the
 			// background; the instance must never be reused while
 			// another goroutine may still be mutating it.
-			p.evictMachine(ws, t.Machine)
+			p.evictMachine(ws, t.instanceKey())
 		}
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return core.Result{}, reused, fmt.Errorf("svc: job %q: %w", t.Label, ErrTimeout)
@@ -890,13 +904,14 @@ func (p *Pool) runAttempt(ctx context.Context, t Task, ws *workerState) (core.Re
 // rebuilt per job exactly as before the cache existed — and once the
 // reuse quarantine has tripped every task gets a fresh instance.
 func (p *Pool) resolveMachine(t Task, ws *workerState) (core.Machine, bool, error) {
-	if cached, ok := ws.machines[t.Machine]; ok && !p.reuseOff.Load() {
+	key := t.instanceKey()
+	if cached, ok := ws.machines[key]; ok && !p.reuseOff.Load() {
 		if r, isReset := cached.(core.Resettable); isReset {
 			r.Reset()
 			p.metrics.machineReused()
 			return cached, true, nil
 		}
-		delete(ws.machines, t.Machine)
+		delete(ws.machines, key)
 	}
 	m, err := t.Factory(t.Machine)
 	if err != nil {
@@ -907,29 +922,32 @@ func (p *Pool) resolveMachine(t Task, ws *workerState) (core.Machine, bool, erro
 }
 
 // cacheMachine stores a cleanly used instance for the next job on this
-// worker; non-Resettable machines and quarantined pools skip the cache.
-func (p *Pool) cacheMachine(ws *workerState, name string, m core.Machine) {
+// worker under its (machine, config-hash) key; non-Resettable machines
+// and quarantined pools skip the cache.
+func (p *Pool) cacheMachine(ws *workerState, key string, m core.Machine) {
 	if p.reuseOff.Load() {
 		return
 	}
 	if _, ok := m.(core.Resettable); ok {
-		ws.machines[name] = m
+		ws.machines[key] = m
 	}
 }
 
 // evictMachine drops a worker's cached instance whose state is no
 // longer trustworthy (abandoned attempt, failed run, determinism trip).
-func (p *Pool) evictMachine(ws *workerState, name string) {
-	if _, ok := ws.machines[name]; ok {
-		delete(ws.machines, name)
+func (p *Pool) evictMachine(ws *workerState, key string) {
+	if _, ok := ws.machines[key]; ok {
+		delete(ws.machines, key)
 		p.metrics.machineEvicted()
 	}
 }
 
 // sampleReuse deterministically picks reused-instance executions for
-// fresh-instance verification: per worker and machine, the first reuse
-// and every ReuseSampleEvery-th after it.
-func (p *Pool) sampleReuse(ws *workerState, name string) bool {
+// fresh-instance verification: per worker and (machine, config-hash)
+// instance, the first reuse and every ReuseSampleEvery-th after it — so
+// a config-varying batch samples each configuration's instances
+// independently.
+func (p *Pool) sampleReuse(ws *workerState, key string) bool {
 	every := p.opts.ReuseSampleEvery
 	if every < 0 {
 		return false
@@ -937,8 +955,8 @@ func (p *Pool) sampleReuse(ws *workerState, name string) bool {
 	if every == 0 {
 		every = defaultReuseSampleEvery
 	}
-	n := ws.reuses[name]
-	ws.reuses[name] = n + 1
+	n := ws.reuses[key]
+	ws.reuses[key] = n + 1
 	return n%uint64(every) == 0
 }
 

@@ -57,6 +57,12 @@ type Options struct {
 	// jobs can never collide with the successor's own counter. Empty —
 	// the default — keeps the single-node ID format byte-identical.
 	ShardID string
+	// ConfigHash is the identity hash of the process-wide machine
+	// configuration (machines.ConfigSet.Hash of the -config file).
+	// /healthz and /readyz report it so a cluster gateway can refuse to
+	// route across shards running different hardware parameters. Empty
+	// means machines.DefaultConfigHash() — paper defaults.
+	ConfigHash string
 }
 
 // Service is the simulation job-queue service: it tracks submitted jobs
@@ -83,6 +89,13 @@ type Service struct {
 	// empty on a single-node service.
 	shardID  string
 	idPrefix string
+	// configHash identifies the process-wide machine configuration
+	// (Options.ConfigHash); configHashes of per-spec overrides are
+	// computed per job, not here.
+	configHash string
+	// chaos wraps per-spec config factories with the same fault point as
+	// the default factory, so chaos runs cover config-carrying jobs too.
+	chaos *faults.Registry
 	// draining flips when the process has been told to stop accepting
 	// new work (SIGTERM) but is still finishing what it has: /readyz
 	// answers 503 while /healthz — liveness — stays 200.
@@ -120,6 +133,9 @@ func NewService(opts Options) *Service {
 	if opts.ShardID != "" {
 		prefix = opts.ShardID + "-"
 	}
+	if opts.ConfigHash == "" {
+		opts.ConfigHash = machines.DefaultConfigHash()
+	}
 	pool := NewPool(opts.Pool)
 	bc := opts.Brownout
 	if bc.EnterExecP99 <= 0 {
@@ -129,24 +145,43 @@ func NewService(opts Options) *Service {
 		bc.ExitExecP99 = bc.EnterExecP99 / 2
 	}
 	return &Service{
-		pool:      pool,
-		factory:   machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
-		maxJobs:   opts.MaxJobs,
-		breakers:  resilience.NewBreakerSet(opts.Breaker),
-		logger:    opts.Logger,
-		shardID:   opts.ShardID,
-		idPrefix:  prefix,
-		estimates: newEstimateMemo(),
-		brownout:  resilience.NewBrownout(bc),
-		jobs:      make(map[string]*Job),
-		evicted:   make(map[string]bool),
-		idem:      make(map[string]string),
+		pool:       pool,
+		factory:    machines.ChaosFactory(opts.Pool.Faults, opts.Factory),
+		maxJobs:    opts.MaxJobs,
+		breakers:   resilience.NewBreakerSet(opts.Breaker),
+		logger:     opts.Logger,
+		shardID:    opts.ShardID,
+		idPrefix:   prefix,
+		configHash: opts.ConfigHash,
+		chaos:      opts.Pool.Faults,
+		estimates:  newEstimateMemo(),
+		brownout:   resilience.NewBrownout(bc),
+		jobs:       make(map[string]*Job),
+		evicted:    make(map[string]bool),
+		idem:       make(map[string]string),
 	}
 }
 
 // ShardID returns the cluster identity this service was configured
 // with ("" on a single-node service).
 func (s *Service) ShardID() string { return s.shardID }
+
+// ConfigHash returns the identity hash of the process-wide machine
+// configuration set — what /healthz and /readyz report.
+func (s *Service) ConfigHash() string { return s.configHash }
+
+// factoryFor returns the machine factory for one normalized spec: the
+// process factory for paper-default specs, or a per-spec factory over
+// the spec's config override, wrapped with the same chaos fault point
+// as the default one. The spec must be normalized (its config
+// validated) first.
+func (s *Service) factoryFor(spec JobSpec) MachineFactory {
+	if spec.Config == nil {
+		return s.factory
+	}
+	cfg := *spec.Config
+	return machines.ChaosFactory(s.chaos, cfg.Machine)
+}
 
 // SetDraining marks the service as draining (or not). A draining
 // service still answers every endpoint — it is alive — but /readyz
@@ -338,7 +373,7 @@ func (s *Service) submit(opts AdmitOptions, spec JobSpec, block bool) (Job, bool
 		},
 		Run: func(context.Context) (core.Result, error) {
 			s.markRunning(job.ID)
-			return runSpec(s.factory, norm)
+			return runSpec(s.factoryFor(norm), norm)
 		},
 	}
 	if opts.Budget > 0 {
@@ -815,10 +850,11 @@ func runStudy(ctx context.Context, p *Pool, factory MachineFactory, names []stri
 		for _, k := range core.Kernels() {
 			name, k := name, k
 			spec := JobSpec{Machine: name, Kernel: k, Workload: &w}
-			// Memoize under the spec hash. The hash does not cover the
-			// factory's machine configurations, so memoization assumes
-			// one factory per pool — which Service and the CLI drivers
-			// guarantee by construction.
+			// Memoize under the spec hash, which covers per-spec config
+			// overrides (these study specs carry none). The hash does not
+			// cover a process-wide -config factory — per-process
+			// memoization keeps that consistent, and the cluster gateway
+			// refuses to route across shards whose config hashes differ.
 			key := ""
 			if h, err := spec.Hash(); err == nil {
 				key = h

@@ -8,10 +8,11 @@
 #     simulation, so more iterations only burn time;
 #   - service benchmarks (BenchmarkServiceThroughput): time-based, the
 #     usual regime for nanosecond-scale operations;
-#   - grid benchmarks (BenchmarkBatchGrid): one fixed iteration — each
-#     iteration drives a full 1,000-cell machine×kernel grid, and the
-#     sequential-jobs leg alone takes seconds, so time-based sampling
-#     would just rerun multi-second grids.
+#   - grid benchmarks (BenchmarkBatchGrid, BenchmarkDSEGrid): one fixed
+#     iteration — each iteration drives a full 1,000-cell machine×kernel
+#     grid (or a whole design-space sweep), and the sequential-jobs leg
+#     alone takes seconds, so time-based sampling would just rerun
+#     multi-second grids.
 #
 # Each benchmark runs -count times and benchdiff keeps the best (min
 # ns/op) run per benchmark: min-of-N filters out scheduler noise, which
@@ -37,7 +38,7 @@ go test -run='^$' -bench='Table3CornerTurn|Table3CSLC' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SIM_BENCHTIME:-20x}" . | tee "$tmp"
 go test -run='^$' -bench='ServiceThroughput|EstimateTier' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${SVC_BENCHTIME:-0.5s}" . | tee -a "$tmp"
-go test -run='^$' -bench='BatchGrid' -benchmem \
+go test -run='^$' -bench='BatchGrid|DSEGrid' -benchmem \
     -count="${BENCH_COUNT:-3}" -benchtime="${GRID_BENCHTIME:-1x}" . | tee -a "$tmp"
 
 go run scripts/benchdiff.go -emit "$tmp" > "$out"

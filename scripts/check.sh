@@ -32,4 +32,7 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== dse-smoke"
+./scripts/dse_smoke.sh
+
 echo "check: OK"

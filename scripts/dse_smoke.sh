@@ -1,0 +1,10 @@
+#!/bin/sh
+# dse_smoke.sh — the design-space-exploration gate, run by
+# `make dse-smoke`, scripts/check.sh, and CI: drive a small sweep
+# through a real simserved process and require the base point to match
+# /v1/tables/3 bit for bit and the VIRAM lanes sweep to improve
+# monotonically with a non-empty Pareto frontier (TestDSESmoke).
+set -eu
+cd "$(dirname "$0")/.."
+
+go test -race -count=1 -run '^TestDSESmoke$' ./cmd/simserved/
